@@ -1,0 +1,193 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//   1. Edison USB-Ethernet-adapter power in/out of the energy account
+//      (the paper notes >half the Edison cluster's power is adapters);
+//   2. combiner on/off for the combined-input wordcount;
+//   3. HDFS block size vs container count (wordcount2 on Edison);
+//   4. YARN per-heartbeat container assignment rate (the allocation
+//      overhead mechanism) for many-file wordcount on Dell;
+//   5. HDFS replication factor vs map data-locality on Edison.
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/experiments.h"
+#include "hw/profiles.h"
+
+int main() {
+  using namespace wimpy;
+  using core::PaperJob;
+
+  // --- 1. adapter power ------------------------------------------------------
+  {
+    const auto with = core::RunPaperJob(PaperJob::kWordCount2,
+                                        mapreduce::EdisonMrCluster(8));
+    auto config = mapreduce::EdisonMrCluster(8);
+    config.slave_profile.power.idle -=
+        config.slave_profile.power.constant_adapter;
+    config.slave_profile.power.busy -=
+        config.slave_profile.power.constant_adapter;
+    config.slave_profile.power.constant_adapter = 0;
+    const auto without = core::RunPaperJob(PaperJob::kWordCount2, config);
+    TextTable t("Ablation 1: Edison USB Ethernet adapter power "
+                "(wordcount2, 8 slaves)");
+    t.SetHeader({"Configuration", "Runtime", "Slave energy"});
+    t.AddRow({"with 1 W adapters (paper setup)",
+              TextTable::Num(with.job.elapsed, 0) + " s",
+              TextTable::Num(with.slave_joules, 0) + " J"});
+    t.AddRow({"integrated NIC (hypothetical)",
+              TextTable::Num(without.job.elapsed, 0) + " s",
+              TextTable::Num(without.slave_joules, 0) + " J"});
+    t.Print();
+    std::printf(
+        "-> adapters account for %.0f%% of Edison energy; an integrated "
+        "0.1 W NIC would widen every efficiency ratio.\n\n",
+        100.0 * (with.slave_joules - without.slave_joules) /
+            with.slave_joules);
+  }
+
+  // --- 2. combiner on/off ----------------------------------------------------
+  {
+    auto config = mapreduce::EdisonMrCluster(8);
+    mapreduce::MrTestbed with_tb(config);
+    auto spec = mapreduce::WordCount2Job(with_tb.config());
+    mapreduce::LoadInputFor(spec, &with_tb);
+    const auto with = with_tb.RunJob(spec);
+
+    mapreduce::MrTestbed without_tb(config);
+    auto no_combiner = spec;
+    no_combiner.has_combiner = false;
+    mapreduce::LoadInputFor(no_combiner, &without_tb);
+    const auto without = without_tb.RunJob(no_combiner);
+
+    TextTable t("Ablation 2: combiner (wordcount2, 8 Edison slaves)");
+    t.SetHeader({"Configuration", "Shuffle bytes", "Runtime", "Energy"});
+    t.AddRow({"combiner on", FormatBytes(with.job.map_output_bytes),
+              TextTable::Num(with.job.elapsed, 0) + " s",
+              TextTable::Num(with.slave_joules, 0) + " J"});
+    t.AddRow({"combiner off", FormatBytes(without.job.map_output_bytes),
+              TextTable::Num(without.job.elapsed, 0) + " s",
+              TextTable::Num(without.slave_joules, 0) + " J"});
+    t.Print();
+    std::printf("\n");
+  }
+
+  // --- 3. block size ---------------------------------------------------------
+  {
+    TextTable t("Ablation 3: HDFS block size (wordcount2, 8 Edison "
+                "slaves)");
+    t.SetHeader({"Block size", "Map tasks", "Runtime", "Energy"});
+    for (Bytes block : {MiB(8), MiB(16), MiB(32), MiB(64)}) {
+      auto config = mapreduce::EdisonMrCluster(8);
+      config.hdfs.block_size = block;
+      mapreduce::MrTestbed tb(config);
+      auto spec = mapreduce::WordCount2Job(tb.config());
+      // Split packing follows the block size.
+      spec.max_split_size = block;
+      mapreduce::LoadInputFor(spec, &tb);
+      const auto r = tb.RunJob(spec);
+      t.AddRow({FormatBytes(block), std::to_string(r.job.map_tasks),
+                TextTable::Num(r.job.elapsed, 0) + " s",
+                TextTable::Num(r.slave_joules, 0) + " J"});
+    }
+    t.Print();
+    std::printf(
+        "-> larger blocks mean fewer containers (less overhead) but\n"
+        "coarser failure/recovery units — the trade-off of §5.2.1.\n\n");
+  }
+
+  // --- 4. allocation rate ----------------------------------------------------
+  {
+    TextTable t("Ablation 4: YARN containers assigned per node-heartbeat "
+                "(wordcount, 2 Dell slaves, 200 input files)");
+    t.SetHeader({"Containers/heartbeat", "Runtime", "Energy"});
+    for (int rate : {1, 2, 4, 8}) {
+      auto config = mapreduce::DellMrCluster(2);
+      config.yarn.containers_per_node_heartbeat = rate;
+      mapreduce::MrTestbed tb(config);
+      auto spec = mapreduce::WordCountJob(tb.config());
+      mapreduce::LoadInputFor(spec, &tb);
+      const auto r = tb.RunJob(spec);
+      t.AddRow({std::to_string(rate),
+                TextTable::Num(r.job.elapsed, 0) + " s",
+                TextTable::Num(r.slave_joules, 0) + " J"});
+    }
+    t.Print();
+    std::printf(
+        "-> the 200-small-file job is allocation-bound on 2 nodes; 35\n"
+        "Edisons absorb the same containers in a few heartbeats.\n\n");
+  }
+
+  // --- 5b. straggler / heterogeneity ----------------------------------------
+  {
+    TextTable t("Ablation 5b: throttled slaves at 50% CPU (wordcount2, "
+                "8 Edison slaves)");
+    t.SetHeader({"Throttled nodes", "Runtime", "Energy"});
+    for (int throttled : {0, 1, 2, 4}) {
+      auto config = mapreduce::EdisonMrCluster(8);
+      config.throttled_slaves = throttled;
+      config.throttle_factor = 0.5;
+      mapreduce::MrTestbed tb(config);
+      auto spec = mapreduce::WordCount2Job(tb.config());
+      mapreduce::LoadInputFor(spec, &tb);
+      const auto r = tb.RunJob(spec);
+      t.AddRow({std::to_string(throttled),
+                TextTable::Num(r.job.elapsed, 0) + " s",
+                TextTable::Num(r.slave_joules, 0) + " J"});
+    }
+    t.Print();
+    std::printf(
+        "-> one throttled node already gates the one-wave reduce phase\n"
+        "(~2x), and extra slow nodes add almost nothing — the straggler\n"
+        "profile Hadoop counters with speculative execution (not\n"
+        "modelled); multi-wave map phases dilute it naturally.\n\n");
+  }
+
+  // --- 5c. speculative execution --------------------------------------------
+  {
+    TextTable t("Ablation 5c: speculative execution vs a 25%-speed "
+                "straggler (wordcount, 8 Edison slaves)");
+    t.SetHeader({"Configuration", "Runtime", "Energy"});
+    for (bool speculative : {false, true}) {
+      auto config = mapreduce::EdisonMrCluster(8);
+      config.throttled_slaves = 1;
+      config.throttle_factor = 0.25;
+      mapreduce::MrTestbed tb(config);
+      auto spec = mapreduce::WordCountJob(tb.config());
+      spec.input_files = 40;
+      spec.input_bytes = MB(200);
+      spec.reducers = 4;
+      spec.speculative_execution = speculative;
+      mapreduce::LoadInputFor(spec, &tb);
+      const auto r = tb.RunJob(spec);
+      t.AddRow({speculative ? "speculation on" : "speculation off",
+                TextTable::Num(r.job.elapsed, 0) + " s",
+                TextTable::Num(r.slave_joules, 0) + " J"});
+    }
+    t.Print();
+    std::printf(
+        "-> duplicate attempts trade a little extra energy for cutting\n"
+        "the straggler tail — Hadoop's remedy, reproduced.\n\n");
+  }
+
+  // --- 5. replication vs locality --------------------------------------------
+  {
+    TextTable t("Ablation 5: HDFS replication (wordcount, 8 Edison "
+                "slaves)");
+    t.SetHeader({"Replication", "Data-local maps", "Runtime"});
+    for (int rep : {1, 2, 3}) {
+      auto config = mapreduce::EdisonMrCluster(8);
+      config.hdfs.replication = rep;
+      mapreduce::MrTestbed tb(config);
+      auto spec = mapreduce::WordCountJob(tb.config());
+      mapreduce::LoadInputFor(spec, &tb);
+      const auto r = tb.RunJob(spec);
+      t.AddRow({std::to_string(rep),
+                TextTable::Num(100 * r.job.data_local_fraction, 0) + "%",
+                TextTable::Num(r.job.elapsed, 0) + " s"});
+    }
+    t.Print();
+    std::printf(
+        "-> the paper picks replication 2 (Edison) / 1 (Dell) so both\n"
+        "clusters sit near 95%% data-local maps.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Daily-energy comparison under a diurnal load curve — connecting the
+// paper's §6 utilisation bounds to simulated 24-hour operation. The Dell
+// tier pays its flat power curve all night; the Edison tier's energy
+// follows load much more closely in absolute terms.
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/diurnal.h"
+
+int main() {
+  using namespace wimpy;
+
+  core::DiurnalPattern pattern;
+  pattern.peak_rps = 7000;
+  pattern.trough_fraction = 0.25;
+
+  struct Tier {
+    const char* name;
+    web::WebTestbedConfig config;
+  };
+  const Tier tiers[] = {
+      {"35 Edison (24 web + 11 cache)", web::EdisonWebTestbed(24, 11)},
+      {"3 Dell (2 web + 1 cache)", web::DellWebTestbed(2, 1)},
+  };
+
+  for (const auto& tier : tiers) {
+    const auto report = core::MeasureDailyEnergy(tier.config, pattern, 8);
+    TextTable table(std::string("Diurnal day on ") + tier.name);
+    table.SetHeader({"Hour", "Offered rps", "Served rps", "Power"});
+    for (const auto& h : report.hours) {
+      table.AddRow({TextTable::Num(h.hour, 1),
+                    TextTable::Num(h.offered_rps, 0),
+                    TextTable::Num(h.achieved_rps, 0),
+                    TextTable::Num(h.power, 1) + " W"});
+    }
+    table.Print();
+    std::printf(
+        "daily: %.2e requests, %.0f kJ, %.1f requests/J\n\n",
+        report.daily_requests, report.daily_joules / 1000.0,
+        report.requests_per_joule);
+  }
+
+  std::printf(
+      "Shape: the Edison tier's ~3.5x efficiency at peak widens further\n"
+      "across a whole day because its idle floor is 49 W against the\n"
+      "Dell trio's 156 W (Table 3), while serving the same requests.\n");
+  return 0;
+}

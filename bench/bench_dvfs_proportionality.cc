@@ -1,0 +1,97 @@
+// Tests the paper's §1 claim that DVFS-based energy proportionality
+// underdelivers: "even if the CPU power consumption is proportional to
+// workload, other components ... still consume the same energy", with best
+// cases around 30% savings [26].
+//
+// We run a Dell node through a utilisation sweep with three governors and
+// report whole-node energy; then contrast the proportionality gap with the
+// Edison alternative at equal work.
+#include <cstdio>
+
+#include "common/table.h"
+#include "hw/dvfs.h"
+#include "hw/profiles.h"
+#include "sim/process.h"
+
+namespace {
+
+using namespace wimpy;
+
+// Runs a duty-cycled single-core load for 200 s and returns joules.
+Joules RunDuty(const hw::HardwareProfile& profile,
+               hw::GovernorPolicy* policy, double duty) {
+  sim::Scheduler sched;
+  hw::ServerNode node(&sched, profile, 0);
+  std::unique_ptr<hw::DvfsGovernor> governor;
+  if (policy != nullptr) {
+    governor = std::make_unique<hw::DvfsGovernor>(
+        &node, hw::DefaultDvfsConfig(*policy));
+    governor->Start();
+  }
+  auto loop = [](hw::ServerNode& n, double d) -> sim::Process {
+    for (int i = 0; i < 20; ++i) {
+      if (d > 0) {
+        co_await n.Compute(n.cpu().spec().dmips_per_thread * 10.0 * d);
+      }
+      co_await sim::Delay(n.scheduler(), 10.0 * (1.0 - d));
+    }
+  };
+  sim::Spawn(sched, loop(node, duty));
+  sched.Run(/*until=*/200.0);
+  if (governor != nullptr) governor->Stop();
+  const Joules joules = node.power().CumulativeJoules();
+  sched.Run();
+  return joules;
+}
+
+}  // namespace
+
+int main() {
+  const auto dell = hw::DellR620Profile();
+  const auto edison = hw::EdisonProfile();
+
+  TextTable table(
+      "DVFS proportionality on a Dell R620 (200 s, one-core duty cycle)");
+  table.SetHeader({"CPU duty", "Fixed freq", "Ondemand", "Saving",
+                   "Ideal proportional"});
+  for (double duty : {0.0, 0.1, 0.3, 0.5, 0.9}) {
+    const Joules fixed = RunDuty(dell, nullptr, duty);
+    hw::GovernorPolicy ondemand = hw::GovernorPolicy::kOndemand;
+    const Joules scaled = RunDuty(dell, &ondemand, duty);
+    // A perfectly proportional server would draw busy power only while
+    // working and nothing otherwise.
+    const double core_fraction =
+        dell.cpu.dmips_per_thread / dell.cpu.total_dmips();
+    const Joules ideal =
+        duty * 200.0 *
+        (dell.power.idle +
+         (dell.power.busy - dell.power.idle) * 0.65 * core_fraction);
+    table.AddRow({TextTable::Num(100 * duty, 0) + "%",
+                  TextTable::Num(fixed, 0) + " J",
+                  TextTable::Num(scaled, 0) + " J",
+                  TextTable::Num(100 * (1 - scaled / fixed), 1) + "%",
+                  TextTable::Num(ideal, 0) + " J"});
+  }
+  table.Print();
+
+  // The same work on Edison nodes.
+  const Joules dell_work = RunDuty(dell, nullptr, 0.5);
+  // Equal instructions: Edison thread is 18x slower; run 18 nodes'
+  // worth of time on one node for an apples-to-apples joules figure.
+  sim::Scheduler sched;
+  hw::ServerNode enode(&sched, edison, 0);
+  auto burn = [](hw::ServerNode& n) -> sim::Process {
+    // Same Minstr as 0.5 duty x 200 s on one Dell thread.
+    co_await n.Compute(11383.0 * 100.0 / 2.0);
+    co_await n.Compute(11383.0 * 100.0 / 2.0);
+  };
+  sim::Spawn(sched, burn(enode));
+  sched.Run();
+  const Joules edison_work = enode.power().CumulativeJoules();
+  std::printf(
+      "\nSame instruction count, one Edison node (both cores): %.0f J over "
+      "%.0f s vs Dell fixed-frequency %.0f J — the architectural route to "
+      "efficiency dwarfs the DVFS route (paper §1).\n",
+      edison_work, sched.now(), dell_work);
+  return 0;
+}

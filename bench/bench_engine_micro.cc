@@ -1,0 +1,97 @@
+// google-benchmark microbenchmarks for the simulation engine and the
+// host-executable kernels — the library's own performance envelope rather
+// than a paper table. Useful for spotting regressions in the event loop
+// and fair-share server that every experiment's wall time depends on.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "hw/profiles.h"
+#include "kernels/dhrystone.h"
+#include "kernels/sysbench.h"
+#include "mapreduce/compute.h"
+#include "mapreduce/textgen.h"
+#include "sim/fair_share.h"
+#include "sim/process.h"
+#include "sim/scheduler.h"
+
+namespace {
+
+using namespace wimpy;
+
+void BM_SchedulerEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    const int n = static_cast<int>(state.range(0));
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      sched.ScheduleAt(static_cast<double>(i % 97), [&fired] { ++fired; });
+    }
+    sched.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerEventThroughput)->Arg(10000)->Arg(100000);
+
+sim::Process ServeJob(sim::FairShareServer& server, double demand) {
+  co_await server.Serve(demand);
+}
+
+void BM_FairShareManyJobs(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    sim::FairShareServer server(&sched, 1000.0, 1.0);
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      sim::Spawn(sched, ServeJob(server, 1.0 + (i % 13)));
+    }
+    sched.Run();
+    benchmark::DoNotOptimize(server.total_work_served());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FairShareManyJobs)->Arg(1000)->Arg(10000);
+
+void BM_DhrystoneKernel(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto result = kernels::RunDhrystone(state.range(0));
+    benchmark::DoNotOptimize(result.checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DhrystoneKernel)->Arg(100000);
+
+void BM_CountPrimes(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::CountPrimes(state.range(0)));
+  }
+}
+BENCHMARK(BM_CountPrimes)->Arg(20000);
+
+void BM_WordCountMap(benchmark::State& state) {
+  Rng rng(1);
+  const std::string corpus =
+      mapreduce::GenerateTextCorpus(MB(1), 10000, rng);
+  for (auto _ : state) {
+    const auto stats = mapreduce::WordCountMap(corpus, nullptr);
+    benchmark::DoNotOptimize(stats.output_records);
+  }
+  state.SetBytesProcessed(state.iterations() * corpus.size());
+}
+BENCHMARK(BM_WordCountMap);
+
+void BM_TeraSort(benchmark::State& state) {
+  Rng rng(2);
+  const std::string records =
+      mapreduce::GenerateTeraRecords(state.range(0), rng);
+  for (auto _ : state) {
+    const std::string sorted = mapreduce::TeraSortRecords(records);
+    benchmark::DoNotOptimize(sorted.data());
+  }
+  state.SetBytesProcessed(state.iterations() * records.size());
+}
+BENCHMARK(BM_TeraSort)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

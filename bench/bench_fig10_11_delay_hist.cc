@@ -1,0 +1,44 @@
+// Reproduces paper Figures 10 & 11: the client-perceived response-delay
+// distribution at ~6000 req/s under the heaviest workload (20% image),
+// measured by open-loop python-style clients that open a fresh connection
+// per request. The Dell histogram spikes at 1 s / 3 s / 7 s — dropped SYNs
+// retransmitted on the exponential backoff schedule — while the 24-Edison
+// cluster, with 12x the connection-setup resources, shows far fewer
+// reconnects.
+#include <cstdio>
+
+#include "common/table.h"
+#include "web_bench_util.h"
+
+int main() {
+  using namespace wimpy;
+
+  const web::WorkloadMix mix = web::HeavyMix();
+  const double target_rps = 6000;
+
+  for (bool edison : {true, false}) {
+    const bench::WebScale scale =
+        edison ? bench::EdisonScales().back() : bench::DellScales().back();
+    web::WebExperiment exp = bench::MakeExperiment(scale);
+    const web::OpenLoopReport report = exp.MeasureOpenLoop(
+        mix, target_rps, bench::MeasureWindow(), /*histogram_max_s=*/8.0,
+        /*histogram_buckets=*/32);
+
+    std::printf("== Figure %d: delay distribution on %s cluster ==\n",
+                edison ? 10 : 11, edison ? "Edison" : "Dell");
+    std::printf(
+        "target %.0f req/s, achieved %.0f req/s, error rate %.1f%%, mean "
+        "client delay %.0f ms\n",
+        report.target_rps, report.achieved_rps, 100 * report.error_rate,
+        1000 * report.client_delay.mean());
+    std::fputs(report.delay_histogram.ToAscii(46).c_str(), stdout);
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Paper shapes: Edison shows a larger *average* delay but a compact\n"
+      "distribution; Dell's histogram has secondary spikes near 1, 3 and\n"
+      "7 seconds (SYN retransmission backoff), because ~3000 fresh\n"
+      "connections/sec funnel into only 2 servers' accept queues.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Background reproduction for the paper's §1/§2 framing: energy
+// proportionality of the two platforms, and the software power-down
+// strategies (Covering Set / All-In) the related work proposes as the
+// alternative to wimpy hardware.
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/powerdown.h"
+#include "core/proportionality.h"
+#include "hw/profiles.h"
+
+int main() {
+  using namespace wimpy;
+
+  // --- power-vs-load curves -----------------------------------------------
+  for (const auto& profile :
+       {hw::DellR620Profile(), hw::EdisonProfile()}) {
+    const auto report = core::MeasureProportionality(profile);
+    TextTable table("Power vs load: " + profile.name);
+    table.SetHeader({"Load", "Power", "P/Pbusy", "Ideal"});
+    for (const auto& point : report.curve) {
+      table.AddRow({TextTable::Num(100 * point.load, 0) + "%",
+                    TextTable::Num(point.power, 2) + " W",
+                    TextTable::Num(point.normalized, 2),
+                    TextTable::Num(point.load, 2)});
+    }
+    table.Print();
+    std::printf(
+        "dynamic range %.2f, proportionality gap %.2f, EP %.2f\n\n",
+        report.dynamic_range, report.proportionality_gap,
+        report.ep_coefficient);
+  }
+  std::printf(
+      "Paper §1: high-end servers burn ~half their peak power at idle —\n"
+      "the Dell curve shows it; the Edison node is even flatter but its\n"
+      "absolute waste is two orders of magnitude smaller.\n\n");
+
+  // --- CS vs AIS vs always-on ----------------------------------------------
+  TextTable strategies(
+      "Power-down strategies (wordcount2, one job per hour, 8 Edison / "
+      "covering 4)");
+  strategies.SetHeader({"Strategy", "Nodes", "Makespan", "Energy/h",
+                        "MB/J"});
+  for (const auto& outcome : core::EvaluatePowerDown(
+           core::PaperJob::kWordCount2, true, 8, 4, Hours(1))) {
+    strategies.AddRow({outcome.strategy,
+                       std::to_string(outcome.active_nodes),
+                       TextTable::Num(outcome.makespan, 0) + " s",
+                       TextTable::Num(outcome.cluster_joules, 0) + " J",
+                       TextTable::Num(outcome.work_done_per_joule, 3)});
+  }
+  strategies.Print();
+  std::printf(
+      "\nShape (§2): both CS and AIS save versus always-on at low duty,\n"
+      "at the price of wake latency and unavailability — the overheads\n"
+      "that motivate attacking the problem in hardware instead.\n");
+  return 0;
+}

@@ -1,0 +1,13 @@
+// One-shot reproduction check: runs the headline experiments and prints a
+// verdict per paper claim. Exit code is non-zero if any shape diverged —
+// suitable as a CI gate for the calibration constants.
+#include <cstdio>
+
+#include "core/report.h"
+
+int main() {
+  const auto report = wimpy::core::RunReproductionChecks();
+  std::fputs("== Reproduction summary (paper vs measured) ==\n", stdout);
+  std::fputs(report.ToText().c_str(), stdout);
+  return report.AllHold() ? 0 : 1;
+}

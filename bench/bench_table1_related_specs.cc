@@ -1,0 +1,40 @@
+// Reproduces paper Table 1: micro-server specifications in related work,
+// plus the registered profiles this library models.
+#include <cstdio>
+
+#include "common/table.h"
+#include "hw/profiles.h"
+
+int main() {
+  using wimpy::TextTable;
+
+  TextTable table("Table 1: Micro server specifications in related work");
+  table.SetHeader({"System", "CPU", "Memory"});
+  table.AddRow({"Big.LITTLE [38]", "4x600MHz, 4x1.6GHz", "2GB"});
+  table.AddRow({"WattDB [43]", "2x1.66GHz", "2GB"});
+  table.AddRow({"Gordon [25]", "2x1.9GHz", "2GB"});
+  table.AddRow({"Diamondville [29]", "2x1.6GHz", "4GB"});
+  table.AddRow({"Raspberry Pi [51]", "4x900MHz", "1GB"});
+  table.AddRow({"FAWN [21]", "1x500MHz", "256MB"});
+  table.AddRow({"Edison [17]", "2x500MHz", "1GB"});
+  table.Print();
+
+  TextTable profiles("Calibrated hardware profiles in this library");
+  profiles.SetHeader({"Profile", "CPU", "DMIPS/thread", "RAM", "NIC",
+                      "Idle W", "Busy W", "Cost $"});
+  for (const auto& name : wimpy::hw::ProfileRegistry::Names()) {
+    const auto p = wimpy::hw::ProfileRegistry::Get(name);
+    if (!p.ok()) continue;
+    char cpu[64];
+    std::snprintf(cpu, sizeof(cpu), "%dx%.0fMHz", p->cpu.cores,
+                  p->cpu.clock_hz / 1e6);
+    profiles.AddRow({p->name, cpu, TextTable::Num(p->cpu.dmips_per_thread, 1),
+                     wimpy::FormatBytes(p->memory.total),
+                     wimpy::FormatBitRate(p->nic.bandwidth),
+                     TextTable::Num(p->power.idle, 2),
+                     TextTable::Num(p->power.busy, 2),
+                     TextTable::Num(p->unit_cost_usd, 0)});
+  }
+  profiles.Print();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Reproduces paper Table 2: how many Edison micro servers match one Dell
+// R620 on each resource axis, plus the §3 rack-density estimate and the §7
+// caveat that the measured CPU gap is ~100x, not the nameplate 12x.
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/capacity.h"
+#include "hw/profiles.h"
+
+int main() {
+  using wimpy::TextTable;
+  const auto edison = wimpy::hw::EdisonProfile();
+  const auto dell = wimpy::hw::DellR620Profile();
+  const auto r = wimpy::core::ComputeReplacement(edison, dell);
+
+  TextTable table("Table 2: Comparing Edison micro servers to Dell servers");
+  table.SetHeader({"Resource", "Edison", "Dell R620", "To replace a Dell"});
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f Edison servers", r.by_cpu_nameplate);
+  table.AddRow({"CPU", "2x500MHz", "6x2GHz", buf});
+  std::snprintf(buf, sizeof(buf), "%.0f Edison servers", r.by_memory);
+  table.AddRow({"RAM", "1GB", "16GB", buf});
+  std::snprintf(buf, sizeof(buf), "%.0f Edison servers", r.by_nic);
+  table.AddRow({"NIC", "100Mbps", "1Gbps", buf});
+  table.Print();
+  std::printf("Estimated number of Edison servers: max = %d (paper: 16)\n\n",
+              r.nodes_to_replace_one);
+
+  std::printf(
+      "Section 7 caveat: measured whole-node CPU gap is %.1fx (vs %.0fx "
+      "nameplate), so a compute-bound replacement needs %d Edisons.\n\n",
+      r.by_cpu_measured, r.by_cpu_nameplate,
+      r.nodes_to_replace_one_measured);
+
+  const auto density = wimpy::core::EdisonRackDensity();
+  std::printf(
+      "Rack density (Section 3): %.1f in^3/module, %.0f in^3 per 1U -> "
+      "~%d Edison micro servers per 1U enclosure (paper: 200).\n",
+      density.module_volume_cubic_in, density.rack_1u_volume_cubic_in,
+      density.modules_per_1u);
+  return 0;
+}

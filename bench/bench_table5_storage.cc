@@ -1,0 +1,90 @@
+// Reproduces paper Table 5: storage throughput (direct + buffered, read +
+// write, via dd semantics) and access latency (ioping semantics) on the
+// simulated Edison microSD and Dell 15K SAS devices.
+#include <cstdio>
+
+#include "common/table.h"
+#include "hw/profiles.h"
+#include "hw/server_node.h"
+#include "sim/process.h"
+
+namespace {
+
+namespace sim = wimpy::sim;
+namespace hw = wimpy::hw;
+using wimpy::Bytes;
+using wimpy::TextTable;
+
+// dd-style: measures the achieved rate of one large sequential transfer.
+double MeasureRate(const hw::HardwareProfile& profile, bool write,
+                   bool buffered) {
+  sim::Scheduler sched;
+  hw::ServerNode node(&sched, profile, 0);
+  const Bytes size = wimpy::MB(200);
+  auto op = [&]() -> sim::Process {
+    if (write) {
+      co_await node.storage().Write(size, buffered);
+    } else {
+      co_await node.storage().Read(size, buffered);
+    }
+  };
+  sim::Spawn(sched, op());
+  sched.Run();
+  return static_cast<double>(size) / sched.now();
+}
+
+// ioping-style: one 4 KiB random access.
+double MeasureLatency(const hw::HardwareProfile& profile, bool write) {
+  sim::Scheduler sched;
+  hw::ServerNode node(&sched, profile, 0);
+  auto op = [&]() -> sim::Process {
+    if (write) {
+      co_await node.storage().RandomWrite(wimpy::KiB(4));
+    } else {
+      co_await node.storage().RandomRead(wimpy::KiB(4));
+    }
+  };
+  sim::Spawn(sched, op());
+  sched.Run();
+  return sched.now();
+}
+
+}  // namespace
+
+int main() {
+  const auto edison = hw::EdisonProfile();
+  const auto dell = hw::DellR620Profile();
+
+  TextTable table("Table 5: Storage I/O test comparison");
+  table.SetHeader({"Metric", "Edison", "Dell", "Ratio", "Paper ratio"});
+
+  auto add_rate = [&](const char* label, bool write, bool buffered,
+                      const char* paper_ratio) {
+    const double e = MeasureRate(edison, write, buffered);
+    const double d = MeasureRate(dell, write, buffered);
+    table.AddRow({label, TextTable::Num(wimpy::ToMBps(e), 1) + " MB/s",
+                  TextTable::Num(wimpy::ToMBps(d), 1) + " MB/s",
+                  TextTable::Ratio(d / e, 1), paper_ratio});
+  };
+  add_rate("Write throughput", true, false, "5.3x");
+  add_rate("Buffered write throughput", true, true, "8.9x");
+  add_rate("Read throughput", false, false, "4.4x");
+  add_rate("Buffered read throughput", false, true, "4.3x");
+
+  auto add_latency = [&](const char* label, bool write,
+                         const char* paper_ratio) {
+    const double e = MeasureLatency(edison, write);
+    const double d = MeasureLatency(dell, write);
+    table.AddRow({label, wimpy::FormatDuration(e), wimpy::FormatDuration(d),
+                  TextTable::Ratio(e / d, 1), paper_ratio});
+  };
+  add_latency("Write latency", true, "3.6x");
+  add_latency("Read latency", false, "8.4x");
+
+  table.Print();
+  std::printf(
+      "\nShape: the storage gap (4-9x) is the *smallest* component gap,\n"
+      "which is why the paper concludes Edison suits data-intensive over\n"
+      "compute-intensive workloads.\n");
+  return 0;
+}

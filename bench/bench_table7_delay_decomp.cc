@@ -1,0 +1,57 @@
+// Reproduces paper Table 7: decomposition of the web-server-side delay
+// into database fetch and cache fetch time at request rates from 480 to
+// 7680 req/s (20% image, 93% cache hit). The paper's key observation:
+// Edison's cache delay blows up with load (slower NICs + in-cluster
+// latency) while its database delay — served by the same two Dell MySQL
+// machines both clusters use — grows only mildly.
+#include <cstdio>
+
+#include "common/csv.h"
+#include "common/table.h"
+#include "web_bench_util.h"
+
+int main() {
+  using namespace wimpy;
+
+  const web::WorkloadMix mix = web::HeavyMix();
+  TextTable table(
+      "Table 7: delay decomposition in ms, (Edison, Dell) per cell");
+  table.SetHeader({"# Request/s", "Database delay", "Cache delay",
+                   "Total"});
+
+  for (double rate : {480.0, 960.0, 1920.0, 3840.0, 7680.0}) {
+    double e_db = 0, e_cache = 0, e_total = 0;
+    double d_db = 0, d_cache = 0, d_total = 0;
+    for (bool edison : {true, false}) {
+      const bench::WebScale scale = edison ? bench::EdisonScales().back()
+                                           : bench::DellScales().back();
+      web::WebExperiment exp = bench::MakeExperiment(scale);
+      const web::OpenLoopReport r =
+          exp.MeasureOpenLoop(mix, rate, bench::MeasureWindow());
+      if (edison) {
+        e_db = 1000 * r.db_delay.mean();
+        e_cache = 1000 * r.cache_delay.mean();
+        e_total = 1000 * r.total_delay.mean();
+      } else {
+        d_db = 1000 * r.db_delay.mean();
+        d_cache = 1000 * r.cache_delay.mean();
+        d_total = 1000 * r.total_delay.mean();
+      }
+    }
+    auto pair = [](double e, double d) {
+      return "(" + TextTable::Num(e, 2) + ", " + TextTable::Num(d, 2) + ")";
+    };
+    table.AddRow({TextTable::Num(rate, 0), pair(e_db, d_db),
+                  pair(e_cache, d_cache), pair(e_total, d_total)});
+  }
+  table.Print();
+  MaybeExportCsv(table, "table7");
+
+  std::printf(
+      "\nPaper values for reference (Edison, Dell):\n"
+      "  480: db (5.44, 1.61)  cache (4.61, 0.37)  total (9.18, 1.43)\n"
+      " 7680: db (10.99, 1.98) cache (212.0, 0.74) total (225.1, 2.93)\n"
+      "Shape: Edison cache delay grows ~45x over this range while its DB\n"
+      "delay merely doubles; Dell's stays flat throughout.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Shared helpers for the web-service bench binaries (Figures 4-11,
+// Table 7): the paper's scale ladder, concurrency levels, and row
+// formatting.
+#ifndef WIMPY_BENCH_WEB_BENCH_UTIL_H_
+#define WIMPY_BENCH_WEB_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "web/service.h"
+
+namespace wimpy::bench {
+
+// Table 6 scale ladder.
+struct WebScale {
+  std::string label;
+  bool edison;
+  int web_servers;
+  int cache_servers;
+};
+
+inline std::vector<WebScale> EdisonScales() {
+  return {{"3 Edison", true, 3, 2},
+          {"6 Edison", true, 6, 3},
+          {"12 Edison", true, 12, 6},
+          {"24 Edison", true, 24, 11}};
+}
+
+inline std::vector<WebScale> DellScales() {
+  return {{"1 Dell", false, 1, 1}, {"2 Dell", false, 2, 1}};
+}
+
+// The paper's httperf x-axis.
+inline std::vector<double> ConcurrencyLevels() {
+  return {8, 16, 32, 64, 128, 256, 512, 1024, 2048};
+}
+
+inline web::WebExperiment MakeExperiment(const WebScale& scale) {
+  return web::WebExperiment(
+      scale.edison
+          ? web::EdisonWebTestbed(scale.web_servers, scale.cache_servers)
+          : web::DellWebTestbed(scale.web_servers, scale.cache_servers));
+}
+
+// Measurement windows: short by default so the whole bench suite stays
+// fast; set WIMPY_FULL=1 for paper-length (3 minute) runs.
+inline Duration MeasureWindow() {
+  const char* full = std::getenv("WIMPY_FULL");
+  return (full != nullptr && full[0] == '1') ? Seconds(180) : Seconds(8);
+}
+inline Duration WarmupWindow() {
+  const char* full = std::getenv("WIMPY_FULL");
+  return (full != nullptr && full[0] == '1') ? Seconds(20) : Seconds(2);
+}
+
+// High-concurrency levels need windows longer than TIME_WAIT (30 s) for
+// connection-churn port exhaustion — the Dell cluster's failure mode — to
+// reach steady state; short windows would understate it.
+inline Duration MeasureWindowFor(double concurrency) {
+  const Duration base = MeasureWindow();
+  if (concurrency >= 1024 && base < Seconds(45)) return Seconds(45);
+  return base;
+}
+
+}  // namespace wimpy::bench
+
+#endif  // WIMPY_BENCH_WEB_BENCH_UTIL_H_

@@ -1,0 +1,54 @@
+// Tour of the FAWN-style key-value workload API: build a store tier on
+// any profile, sweep the offered load to its knee, and read out latency
+// and queries-per-joule — the related-work experiment that motivated
+// sensor-class serving in the first place.
+//
+// Usage: ./build/examples/kv_store_tour [profile] [nodes]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/table.h"
+#include "hw/profiles.h"
+#include "kv/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace wimpy;
+
+  const std::string profile_name = argc > 1 ? argv[1] : "edison";
+  const int nodes = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  const auto profile = hw::ProfileRegistry::Get(profile_name);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "unknown profile '%s' (%s)\n",
+                 profile_name.c_str(),
+                 profile.status().ToString().c_str());
+    return 1;
+  }
+
+  kv::KvExperimentConfig config;
+  config.node_profile = *profile;
+  config.node_count = nodes;
+  kv::KvExperiment experiment(config);
+
+  TextTable table("KV load sweep: " + std::to_string(nodes) + " x " +
+                  profile_name + " (90% GET, 1 KB values)");
+  table.SetHeader({"Offered qps", "Achieved", "Mean lat", "p99 lat",
+                   "Power", "Queries/J"});
+  for (double qps = 250; qps <= 16000; qps *= 2) {
+    const kv::KvReport r = experiment.Measure(qps, Seconds(10));
+    table.AddRow({TextTable::Num(qps, 0),
+                  TextTable::Num(r.achieved_qps, 0),
+                  FormatDuration(r.mean_latency),
+                  FormatDuration(r.p99_latency),
+                  TextTable::Num(r.store_power, 1) + " W",
+                  TextTable::Num(r.queries_per_joule, 0)});
+    if (r.achieved_qps < 0.8 * qps) break;  // past the knee
+  }
+  table.Print();
+
+  const kv::KvReport peak = experiment.FindPeak(250, 64000);
+  std::printf("\nStable peak: %.0f qps at %.0f queries/joule.\n",
+              peak.achieved_qps, peak.queries_per_joule);
+  return 0;
+}

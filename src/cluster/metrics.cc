@@ -1,0 +1,71 @@
+#include "cluster/metrics.h"
+
+#include <cassert>
+
+namespace wimpy::cluster {
+
+MetricsSampler::MetricsSampler(Cluster* cluster,
+                               std::vector<std::string> roles,
+                               Duration period)
+    : cluster_(cluster), roles_(std::move(roles)), period_(period) {
+  assert(cluster != nullptr);
+  assert(period > 0);
+}
+
+MetricsSampler::~MetricsSampler() { Stop(); }
+
+void MetricsSampler::SetProgressProbe(
+    std::function<std::pair<double, double>()> probe) {
+  probe_ = std::move(probe);
+}
+
+void MetricsSampler::Start() {
+  if (running_) return;
+  running_ = true;
+  TakeSample();
+  ScheduleNext();
+}
+
+void MetricsSampler::Stop() {
+  running_ = false;
+  if (pending_ != 0) {
+    cluster_->scheduler().Cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+void MetricsSampler::ScheduleNext() {
+  if (!running_) return;
+  pending_ = cluster_->scheduler().ScheduleAfter(period_, [this] {
+    pending_ = 0;
+    if (!running_) return;
+    TakeSample();
+    ScheduleNext();
+  });
+}
+
+void MetricsSampler::TakeSample() {
+  MetricsSample s;
+  s.time = cluster_->scheduler().now();
+  double cpu = 0, mem = 0, nic = 0, disk = 0;
+  for (const auto& role : roles_) {
+    cpu += cluster_->MeanCpuBusy(role);
+    mem += cluster_->MeanMemoryUsed(role);
+    nic += cluster_->MeanNicBusy(role);
+    disk += cluster_->MeanStorageBusy(role);
+  }
+  const double n = roles_.empty() ? 1.0 : static_cast<double>(roles_.size());
+  s.cpu_pct = 100.0 * cpu / n;
+  s.memory_pct = 100.0 * mem / n;
+  s.nic_pct = 100.0 * nic / n;
+  s.storage_pct = 100.0 * disk / n;
+  s.power_watts = cluster_->TotalWatts(roles_);
+  if (probe_) {
+    auto [a, b] = probe_();
+    s.gauge_a = a;
+    s.gauge_b = b;
+  }
+  samples_.push_back(s);
+}
+
+}  // namespace wimpy::cluster

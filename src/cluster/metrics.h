@@ -1,0 +1,73 @@
+// Periodic cluster telemetry, modelled on the paper's psutil logger.
+//
+// The paper samples CPU%, memory%, power and MapReduce phase progress once
+// a second on every node and plots them as the Figure 12-17 timelines. The
+// sampler here does the same over simulated time; bench binaries print the
+// sample series.
+#ifndef WIMPY_CLUSTER_METRICS_H_
+#define WIMPY_CLUSTER_METRICS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/units.h"
+
+namespace wimpy::cluster {
+
+struct MetricsSample {
+  SimTime time = 0;
+  double cpu_pct = 0;      // mean CPU busy % across the sampled role
+  double memory_pct = 0;   // mean memory used %
+  double nic_pct = 0;      // mean NIC busy %
+  double storage_pct = 0;  // mean storage busy %
+  Watts power_watts = 0;   // aggregate power of the sampled roles
+  // Generic workload gauges (e.g. map/reduce completion %), filled by the
+  // progress probe when one is installed.
+  double gauge_a = 0;
+  double gauge_b = 0;
+};
+
+class MetricsSampler {
+ public:
+  // Samples the given roles every `period` seconds of simulated time.
+  // `power_roles` defaults to `roles` (pass e.g. all worker roles to
+  // emulate a PDU covering only the slaves, as the paper's energy
+  // accounting does).
+  MetricsSampler(Cluster* cluster, std::vector<std::string> roles,
+                 Duration period);
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  ~MetricsSampler();
+
+  // Installs a probe returning {gauge_a, gauge_b}; sampled with the rest.
+  void SetProgressProbe(std::function<std::pair<double, double>()> probe);
+
+  // Begins sampling at the current simulated time. One sample is taken
+  // immediately.
+  void Start();
+
+  // Stops future samples; already-collected samples remain available.
+  void Stop();
+
+  const std::vector<MetricsSample>& samples() const { return samples_; }
+
+ private:
+  void TakeSample();
+  void ScheduleNext();
+
+  Cluster* cluster_;
+  std::vector<std::string> roles_;
+  Duration period_;
+  bool running_ = false;
+  sim::EventId pending_ = 0;
+  std::function<std::pair<double, double>()> probe_;
+  std::vector<MetricsSample> samples_;
+};
+
+}  // namespace wimpy::cluster
+
+#endif  // WIMPY_CLUSTER_METRICS_H_

@@ -1,0 +1,66 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.h"
+
+namespace wimpy {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::EscapeCell(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += EscapeCell(row[i]);
+    }
+    out += '\n';
+  };
+  append_row(header_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+Status CsvWriter::WriteToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open for writing: " + path);
+  }
+  const std::string doc = ToString();
+  const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  if (written != doc.size()) {
+    return Status::Unavailable("short write to: " + path);
+  }
+  return Status::Ok();
+}
+
+Status MaybeExportCsv(const TextTable& table, const std::string& name) {
+  const char* dir = std::getenv("WIMPY_CSV_DIR");
+  if (dir == nullptr || dir[0] == '\0') return Status::Ok();
+  CsvWriter writer(table.header());
+  for (const auto& row : table.rows()) writer.AddRow(row);
+  return writer.WriteToFile(std::string(dir) + "/" + name + ".csv");
+}
+
+}  // namespace wimpy

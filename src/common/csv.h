@@ -1,0 +1,44 @@
+// CSV emission so bench outputs can feed external plotting directly.
+#ifndef WIMPY_COMMON_CSV_H_
+#define WIMPY_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wimpy {
+
+// Accumulates rows and writes RFC-4180-ish CSV (quotes cells containing
+// commas, quotes, or newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the full document (header + rows).
+  std::string ToString() const;
+
+  // Writes to a file path, overwriting. Returns IO errors as Status.
+  Status WriteToFile(const std::string& path) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  static std::string EscapeCell(const std::string& cell);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+class TextTable;
+
+// If the WIMPY_CSV_DIR environment variable is set, writes `table` as
+// <dir>/<name>.csv so bench outputs can feed external plotting; returns
+// OK (and does nothing) when the variable is unset.
+Status MaybeExportCsv(const TextTable& table, const std::string& name);
+
+}  // namespace wimpy
+
+#endif  // WIMPY_COMMON_CSV_H_

@@ -1,0 +1,70 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace wimpy {
+
+LinearHistogram::LinearHistogram(double lo, double hi,
+                                 std::size_t num_buckets)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(num_buckets)),
+      counts_(num_buckets, 0) {
+  assert(hi > lo);
+  assert(num_buckets > 0);
+}
+
+void LinearHistogram::Add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[idx];
+}
+
+double LinearHistogram::BucketLow(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double LinearHistogram::BucketHigh(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+std::size_t LinearHistogram::ArgMaxBucket() const {
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::string LinearHistogram::ToAscii(std::size_t max_bar_width) const {
+  std::size_t last_nonzero = 0;
+  std::size_t max_count = 1;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] > 0) last_nonzero = i;
+    max_count = std::max(max_count, counts_[i]);
+  }
+  std::string out;
+  char buf[128];
+  for (std::size_t i = 0; i <= last_nonzero; ++i) {
+    const std::size_t bar =
+        counts_[i] * max_bar_width / max_count;
+    std::snprintf(buf, sizeof(buf), "[%8.3f, %8.3f) %8zu | ", BucketLow(i),
+                  BucketHigh(i), counts_[i]);
+    out += buf;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  if (overflow_ > 0) {
+    std::snprintf(buf, sizeof(buf), "overflow: %zu\n", overflow_);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace wimpy

@@ -1,0 +1,54 @@
+// Minimal leveled logging for the library and its benches.
+//
+// Logging defaults to kWarning so simulations stay quiet; benches raise the
+// level explicitly. All output goes to stderr so bench stdout remains a
+// clean table stream.
+#ifndef WIMPY_COMMON_LOGGING_H_
+#define WIMPY_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace wimpy {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+// Stream-collecting helper behind the WIMPY_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+bool ShouldLog(LogLevel level);
+
+}  // namespace internal_logging
+}  // namespace wimpy
+
+// Usage: WIMPY_LOG(kInfo) << "job finished in " << seconds << " s";
+#define WIMPY_LOG(severity)                                              \
+  if (!::wimpy::internal_logging::ShouldLog(::wimpy::LogLevel::severity)) \
+    ;                                                                     \
+  else                                                                    \
+    ::wimpy::internal_logging::LogMessage(::wimpy::LogLevel::severity,    \
+                                          __FILE__, __LINE__)             \
+        .stream()
+
+#endif  // WIMPY_COMMON_LOGGING_H_

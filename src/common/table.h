@@ -1,0 +1,55 @@
+// ASCII table rendering for paper-style result tables.
+//
+// Every bench binary prints the rows/series of the corresponding paper table
+// or figure through this printer so output stays uniform and diffable.
+#ifndef WIMPY_COMMON_TABLE_H_
+#define WIMPY_COMMON_TABLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace wimpy {
+
+// Column-aligned text table with a title, a header row, and data rows.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  // Sets the header; must be called before adding rows.
+  void SetHeader(std::vector<std::string> header);
+
+  // Adds a row. Rows shorter than the header are padded with empty cells;
+  // longer rows extend the column set.
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience for mixed literal rows.
+  void AddRow(std::initializer_list<std::string> row);
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+  const std::string& title() const { return title_; }
+
+  // Renders the full table.
+  std::string ToString() const;
+
+  // Renders to stdout.
+  void Print() const;
+
+  // Formats a double with the given number of decimals ("12.35").
+  static std::string Num(double value, int decimals = 2);
+  // Formats "3.5x"-style ratios.
+  static std::string Ratio(double value, int decimals = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wimpy
+
+#endif  // WIMPY_COMMON_TABLE_H_

@@ -1,0 +1,38 @@
+#include "core/capacity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wimpy::core {
+
+ReplacementRatios ComputeReplacement(const hw::HardwareProfile& small,
+                                     const hw::HardwareProfile& big) {
+  ReplacementRatios r;
+  // §3.1 uses nameplate core-count x clock, without hyper-threading.
+  const double small_nameplate = small.cpu.cores * small.cpu.clock_hz;
+  const double big_nameplate = big.cpu.cores * big.cpu.clock_hz;
+  r.by_cpu_nameplate = big_nameplate / small_nameplate;
+  r.by_cpu_measured = big.cpu.total_dmips() / small.cpu.total_dmips();
+  r.by_memory = static_cast<double>(big.memory.total) /
+                static_cast<double>(small.memory.total);
+  r.by_nic = big.nic.bandwidth / small.nic.bandwidth;
+  r.nodes_to_replace_one = static_cast<int>(std::ceil(
+      std::max({r.by_cpu_nameplate, r.by_memory, r.by_nic})));
+  r.nodes_to_replace_one_measured = static_cast<int>(std::ceil(
+      std::max({r.by_cpu_measured, r.by_memory, r.by_nic})));
+  return r;
+}
+
+DensityEstimate EdisonRackDensity() {
+  DensityEstimate d;
+  // §3: one Edison micro server with Ethernet adapter and extension boards
+  // measures 4.3 x 1.2 x 1.2 inches; a 1U enclosure is 39 x 19 x 1.75.
+  d.module_volume_cubic_in = 4.3 * 1.2 * 1.2;
+  d.rack_1u_volume_cubic_in = 39.0 * 19.0 * 1.75;
+  // The paper quotes 200 per 1U (practical packing, not pure volume).
+  d.modules_per_1u = static_cast<int>(
+      d.rack_1u_volume_cubic_in / d.module_volume_cubic_in * 0.96);
+  return d;
+}
+
+}  // namespace wimpy::core

@@ -1,0 +1,40 @@
+// Capacity planning: the back-of-the-envelope replacement argument of
+// paper §3.1 / Table 2, generalised to any pair of hardware profiles.
+#ifndef WIMPY_CORE_CAPACITY_H_
+#define WIMPY_CORE_CAPACITY_H_
+
+#include <string>
+#include <vector>
+
+#include "hw/profile.h"
+
+namespace wimpy::core {
+
+// How many `small` nodes match one `big` node on a given resource axis.
+struct ReplacementRatios {
+  double by_cpu_nameplate = 0;  // clock x cores (no SMT), as §3.1 computes
+  double by_cpu_measured = 0;   // measured DMIPS (the §4.1 reality check)
+  double by_memory = 0;
+  double by_nic = 0;
+  // max(nameplate cpu, memory, nic): the paper's "16 Edisons per Dell".
+  int nodes_to_replace_one = 0;
+  // Same using measured CPU: the ~100x caveat of §7.
+  int nodes_to_replace_one_measured = 0;
+};
+
+ReplacementRatios ComputeReplacement(const hw::HardwareProfile& small,
+                                     const hw::HardwareProfile& big);
+
+// Rack-density estimate of §3: how many units fit a 1U enclosure given the
+// module dimensions (the paper estimates 200 Edisons per 1U).
+struct DensityEstimate {
+  double module_volume_cubic_in = 0;
+  double rack_1u_volume_cubic_in = 0;
+  int modules_per_1u = 0;
+};
+
+DensityEstimate EdisonRackDensity();
+
+}  // namespace wimpy::core
+
+#endif  // WIMPY_CORE_CAPACITY_H_

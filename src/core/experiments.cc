@@ -1,0 +1,90 @@
+#include "core/experiments.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace wimpy::core {
+
+std::string_view PaperJobName(PaperJob job) {
+  switch (job) {
+    case PaperJob::kWordCount:
+      return "wordcount";
+    case PaperJob::kWordCount2:
+      return "wordcount2";
+    case PaperJob::kLogCount:
+      return "logcount";
+    case PaperJob::kLogCount2:
+      return "logcount2";
+    case PaperJob::kPi:
+      return "pi";
+    case PaperJob::kTeraSort:
+      return "terasort";
+  }
+  return "?";
+}
+
+const std::vector<PaperJob>& AllPaperJobs() {
+  static const std::vector<PaperJob>* jobs = new std::vector<PaperJob>{
+      PaperJob::kWordCount, PaperJob::kWordCount2, PaperJob::kLogCount,
+      PaperJob::kLogCount2, PaperJob::kPi,         PaperJob::kTeraSort};
+  return *jobs;
+}
+
+mapreduce::JobSpec SpecFor(PaperJob job,
+                           const mapreduce::MrClusterConfig& config) {
+  switch (job) {
+    case PaperJob::kWordCount:
+      return mapreduce::WordCountJob(config);
+    case PaperJob::kWordCount2:
+      return mapreduce::WordCount2Job(config);
+    case PaperJob::kLogCount:
+      return mapreduce::LogCountJob(config);
+    case PaperJob::kLogCount2:
+      return mapreduce::LogCount2Job(config);
+    case PaperJob::kPi:
+      return mapreduce::PiJob(config);
+    case PaperJob::kTeraSort:
+      return mapreduce::TeraSortJob(config);
+  }
+  assert(false);
+  return {};
+}
+
+mapreduce::MrRunResult RunPaperJob(PaperJob job,
+                                   mapreduce::MrClusterConfig config) {
+  if (job == PaperJob::kTeraSort) {
+    config = mapreduce::TeraSortClusterConfig(config);
+  }
+  mapreduce::MrTestbed testbed(config);
+  const mapreduce::JobSpec spec = SpecFor(job, testbed.config());
+  mapreduce::LoadInputFor(spec, &testbed);
+  return testbed.RunJob(spec);
+}
+
+double EnergyEfficiencyRatio(Joules a_joules, Joules b_joules) {
+  return a_joules <= 0 ? 0.0 : b_joules / a_joules;
+}
+
+double MeanSpeedupPerDoubling(
+    const std::vector<std::pair<int, Duration>>& ladder) {
+  if (ladder.size() < 2) return 0.0;
+  // Ladder entries are (cluster size, runtime), any order; sort ascending
+  // by size and average consecutive speed-ups normalised per doubling.
+  auto sorted = ladder;
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0;
+  int steps = 0;
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    const double size_ratio = static_cast<double>(sorted[i].first) /
+                              static_cast<double>(sorted[i - 1].first);
+    const double speedup = sorted[i - 1].second / sorted[i].second;
+    // Normalise to one doubling: speedup^(1/log2(size_ratio)).
+    const double doublings = std::log2(size_ratio);
+    if (doublings <= 0) continue;
+    sum += std::pow(speedup, 1.0 / doublings);
+    ++steps;
+  }
+  return steps == 0 ? 0.0 : sum / steps;
+}
+
+}  // namespace wimpy::core

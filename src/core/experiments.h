@@ -1,0 +1,51 @@
+// High-level experiment drivers shared by the bench binaries and examples.
+//
+// These wrap the workload layers into one-call reproductions of the
+// paper's experiment units: "run paper job X on platform Y at cluster size
+// N" and the derived metrics (work-done-per-joule ratios, scalability
+// speed-ups).
+#ifndef WIMPY_CORE_EXPERIMENTS_H_
+#define WIMPY_CORE_EXPERIMENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mapreduce/jobs.h"
+#include "mapreduce/testbed.h"
+
+namespace wimpy::core {
+
+// The six paper jobs, in Table 8 order.
+enum class PaperJob {
+  kWordCount,
+  kWordCount2,
+  kLogCount,
+  kLogCount2,
+  kPi,
+  kTeraSort,
+};
+
+std::string_view PaperJobName(PaperJob job);
+const std::vector<PaperJob>& AllPaperJobs();
+
+// Builds the right spec for `job` on `config`.
+mapreduce::JobSpec SpecFor(PaperJob job,
+                           const mapreduce::MrClusterConfig& config);
+
+// Builds a testbed (with the terasort block-size override when needed),
+// loads input, runs the job, returns the result.
+mapreduce::MrRunResult RunPaperJob(PaperJob job,
+                                   mapreduce::MrClusterConfig config);
+
+// work-done-per-joule ratio of A over B for equal work: joules_b/joules_a.
+double EnergyEfficiencyRatio(Joules a_joules, Joules b_joules);
+
+// Mean speed-up per cluster-size doubling over a (size, runtime) ladder,
+// e.g. {35: 310 s, 17: 1065 s, 8: 1817 s, 4: 3283 s} -> ~1.9 (paper §5.3).
+double MeanSpeedupPerDoubling(
+    const std::vector<std::pair<int, Duration>>& ladder);
+
+}  // namespace wimpy::core
+
+#endif  // WIMPY_CORE_EXPERIMENTS_H_

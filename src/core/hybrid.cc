@@ -1,0 +1,154 @@
+#include "core/hybrid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/experiments.h"
+#include "core/tco.h"
+#include "mapreduce/jobs.h"
+#include "web/service.h"
+
+namespace wimpy::core {
+
+namespace {
+
+// Calibration scale: small testbeds keep the probe runs fast while the
+// per-node rates transfer linearly (web tiers scale linearly per §5.1.2).
+constexpr int kWebProbeServers = 4;
+constexpr int kWebProbeCaches = 2;
+constexpr int kMrProbeSlaves = 4;
+
+double ProbeWebPeak(const hw::HardwareProfile& profile,
+                    Duration* latency_out) {
+  web::WebTestbedConfig config =
+      profile.name == "dell-r620"
+          ? web::DellWebTestbed(kWebProbeServers, kWebProbeCaches)
+          : web::EdisonWebTestbed(kWebProbeServers, kWebProbeCaches);
+  config.middle_profile = profile;
+  web::WebExperiment experiment(config);
+
+  // Latency at easy load.
+  const web::LevelReport easy = experiment.MeasureClosedLoop(
+      web::LightMix(), 16, 8, Seconds(2), Seconds(6));
+  if (latency_out != nullptr) *latency_out = easy.mean_response;
+
+  // Ramp concurrency until errors appear or throughput stops growing.
+  double best_rps = easy.achieved_rps;
+  for (double conc : {64.0, 128.0, 256.0, 512.0}) {
+    const web::LevelReport r = experiment.MeasureClosedLoop(
+        web::LightMix(), conc,
+        std::max(1, static_cast<int>(1200 * kWebProbeServers / conc)),
+        Seconds(2), Seconds(6));
+    if (r.error_rate > 0.02) break;
+    best_rps = std::max(best_rps, r.achieved_rps);
+  }
+  return best_rps / kWebProbeServers;
+}
+
+double ProbeMrThroughput(const hw::HardwareProfile& profile) {
+  mapreduce::MrClusterConfig config =
+      profile.name == "dell-r620"
+          ? mapreduce::DellMrCluster(kMrProbeSlaves)
+          : mapreduce::EdisonMrCluster(kMrProbeSlaves);
+  config.slave_profile = profile;
+  mapreduce::MrTestbed testbed(config);
+  mapreduce::JobSpec spec = mapreduce::WordCount2Job(testbed.config());
+  // Scale the input down for probe speed.
+  spec.input_files = 40;
+  spec.input_bytes = MB(200);
+  spec.max_split_size = std::max<Bytes>(
+      MiB(1), static_cast<Bytes>(1.1 * spec.input_bytes /
+                                 mapreduce::TotalVcores(config)));
+  spec.reducers = mapreduce::TotalVcores(config);
+  mapreduce::LoadInputFor(spec, &testbed);
+  const mapreduce::MrRunResult result = testbed.RunJob(spec);
+  const double mbps = static_cast<double>(spec.input_bytes) / 1e6 /
+                      result.job.elapsed;
+  return mbps / kMrProbeSlaves;
+}
+
+}  // namespace
+
+NodeCapability CalibrateNode(const hw::HardwareProfile& profile) {
+  NodeCapability cap;
+  cap.profile_name = profile.name;
+  Duration latency = 0;
+  cap.web_rps_per_node = ProbeWebPeak(profile, &latency);
+  cap.web_latency = latency;
+  cap.mr_mbps_per_node = ProbeMrThroughput(profile);
+  cap.busy_power = profile.power.busy;
+  cap.idle_power = profile.power.idle;
+  cap.unit_cost_usd = profile.unit_cost_usd;
+  return cap;
+}
+
+namespace {
+
+int NodesFor(double demand, double per_node) {
+  if (per_node <= 0) return 0;
+  return static_cast<int>(std::ceil(demand / per_node));
+}
+
+FleetPlan Assemble(const std::string& name, const WorkloadTarget& target,
+                   const NodeCapability& latency_tier,
+                   const NodeCapability& web_tier,
+                   const NodeCapability& batch_tier,
+                   double slo_bound_fraction, double usd_per_kwh) {
+  FleetPlan plan;
+  plan.name = name;
+  plan.latency_profile = latency_tier.profile_name;
+  plan.web_profile = web_tier.profile_name;
+  plan.batch_profile = batch_tier.profile_name;
+
+  // Latency feasibility: a tier can only serve the SLO-bound share if its
+  // response time fits the bound.
+  if (latency_tier.web_latency > target.web_latency_slo) {
+    plan.feasible = false;
+    plan.note = latency_tier.profile_name + " cannot meet the latency SLO";
+    return plan;
+  }
+  plan.feasible = true;
+
+  const double slo_rps = target.web_rps * slo_bound_fraction;
+  const double bulk_rps = target.web_rps - slo_rps;
+  plan.latency_nodes = NodesFor(slo_rps, latency_tier.web_rps_per_node);
+  plan.web_nodes = NodesFor(bulk_rps, web_tier.web_rps_per_node);
+  const double mr_mbps_needed = target.mr_mb_per_day / 86400.0;
+  plan.batch_nodes = NodesFor(mr_mbps_needed, batch_tier.mr_mbps_per_node);
+
+  // Web tiers run near-busy at peak-provisioned utilisation ~60%; batch
+  // runs flat out (the paper's big-data TCO assumption).
+  auto tier_power = [](const NodeCapability& cap, int nodes, double util) {
+    return nodes * (cap.idle_power +
+                    (cap.busy_power - cap.idle_power) * util);
+  };
+  plan.mean_power = tier_power(latency_tier, plan.latency_nodes, 0.6) +
+                    tier_power(web_tier, plan.web_nodes, 0.6) +
+                    tier_power(batch_tier, plan.batch_nodes, 1.0);
+
+  const double purchase = latency_tier.unit_cost_usd * plan.latency_nodes +
+                          web_tier.unit_cost_usd * plan.web_nodes +
+                          batch_tier.unit_cost_usd * plan.batch_nodes;
+  const double kwh = plan.mean_power * 3 * 365 * 24 / 1000.0;
+  plan.tco_3yr_usd = purchase + kwh * usd_per_kwh;
+  return plan;
+}
+
+}  // namespace
+
+std::vector<FleetPlan> PlanFleet(const WorkloadTarget& target,
+                                 const NodeCapability& wimpy,
+                                 const NodeCapability& brawny,
+                                 double slo_bound_fraction,
+                                 double electricity_usd_per_kwh) {
+  std::vector<FleetPlan> plans;
+  plans.push_back(Assemble("all-brawny", target, brawny, brawny, brawny,
+                           slo_bound_fraction, electricity_usd_per_kwh));
+  plans.push_back(Assemble("all-wimpy", target, wimpy, wimpy, wimpy,
+                           slo_bound_fraction, electricity_usd_per_kwh));
+  plans.push_back(Assemble("hybrid", target, brawny, wimpy, wimpy,
+                           slo_bound_fraction, electricity_usd_per_kwh));
+  return plans;
+}
+
+}  // namespace wimpy::core

@@ -1,0 +1,69 @@
+// Hybrid datacenter planning — the design the paper's conclusion (§7)
+// envisions: "a hybrid future datacenter design that orchestrates micro
+// servers and conventional servers would achieve both high performance and
+// low power consumption."
+//
+// The planner self-calibrates by running small simulated experiments on
+// each candidate profile (peak web throughput per node, MapReduce MB/s per
+// node, low-load response latency), then sizes a mixed fleet for a target
+// workload under a latency SLO and reports TCO and energy for pure-brawny,
+// pure-wimpy and hybrid deployments.
+#ifndef WIMPY_CORE_HYBRID_H_
+#define WIMPY_CORE_HYBRID_H_
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "hw/profile.h"
+
+namespace wimpy::core {
+
+// Per-node capability measured by calibration runs.
+struct NodeCapability {
+  std::string profile_name;
+  double web_rps_per_node = 0;     // sustainable requests/sec per web node
+  Duration web_latency = 0;        // mean response at moderate load
+  double mr_mbps_per_node = 0;     // MapReduce input MB/s per slave
+  Watts busy_power = 0;
+  Watts idle_power = 0;
+  double unit_cost_usd = 0;
+};
+
+// Measures capability by running scaled-down experiments (a few seconds
+// of simulated time each).
+NodeCapability CalibrateNode(const hw::HardwareProfile& profile);
+
+// What the datacenter must serve.
+struct WorkloadTarget {
+  double web_rps = 10000;              // sustained request rate
+  Duration web_latency_slo = Milliseconds(50);  // mean-latency bound
+  double mr_mb_per_day = 500000;       // batch input volume per day
+};
+
+struct FleetPlan {
+  std::string name;
+  int latency_nodes = 0;   // brawny nodes serving the SLO-bound share
+  int web_nodes = 0;       // nodes serving the latency-tolerant web share
+  int batch_nodes = 0;     // MapReduce slaves
+  std::string latency_profile;
+  std::string web_profile;
+  std::string batch_profile;
+  double tco_3yr_usd = 0;
+  Watts mean_power = 0;
+  bool feasible = false;
+  std::string note;
+};
+
+// Produces three plans: all-brawny, all-wimpy, and hybrid (brawny for the
+// SLO-bound fraction, wimpy elsewhere). `slo_bound_fraction` is the share
+// of web traffic that must meet the SLO (the rest is latency-tolerant).
+std::vector<FleetPlan> PlanFleet(const WorkloadTarget& target,
+                                 const NodeCapability& wimpy,
+                                 const NodeCapability& brawny,
+                                 double slo_bound_fraction = 0.3,
+                                 double electricity_usd_per_kwh = 0.10);
+
+}  // namespace wimpy::core
+
+#endif  // WIMPY_CORE_HYBRID_H_

@@ -1,0 +1,66 @@
+#include "core/tco.h"
+
+#include "hw/profiles.h"
+
+namespace wimpy::core {
+
+TcoParams TcoParamsFor(const hw::HardwareProfile& profile) {
+  TcoParams params;
+  params.unit_cost_usd = profile.unit_cost_usd;
+  params.peak_power = profile.power.busy;
+  params.idle_power = profile.power.idle;
+  return params;
+}
+
+Watts MeanPower(const TcoParams& params, double utilization) {
+  return utilization * params.peak_power +
+         (1.0 - utilization) * params.idle_power;
+}
+
+double ElectricityCostUsd(const TcoParams& params, int servers,
+                          double utilization) {
+  const double hours = params.lifetime_years * 365.0 * 24.0;
+  const double kwh =
+      MeanPower(params, utilization) * servers * hours / 1000.0;
+  return kwh * params.electricity_usd_per_kwh;
+}
+
+double TcoUsd(const TcoParams& params, int servers, double utilization) {
+  return params.unit_cost_usd * servers +
+         ElectricityCostUsd(params, servers, utilization);
+}
+
+TcoComparison Compare(const TcoScenario& scenario) {
+  TcoComparison cmp;
+  cmp.name = scenario.name;
+  cmp.a_total_usd =
+      TcoUsd(scenario.a_params, scenario.a_servers, scenario.a_utilization);
+  cmp.b_total_usd =
+      TcoUsd(scenario.b_params, scenario.b_servers, scenario.b_utilization);
+  cmp.savings_fraction =
+      cmp.a_total_usd <= 0 ? 0.0 : 1.0 - cmp.b_total_usd / cmp.a_total_usd;
+  return cmp;
+}
+
+std::vector<TcoScenario> PaperTable10Scenarios() {
+  const TcoParams edison = TcoParamsFor(hw::EdisonProfile());
+  const TcoParams dell = TcoParamsFor(hw::DellR620Profile());
+
+  std::vector<TcoScenario> scenarios;
+  // Web service: 35 Edisons replace 3 Dells; utilisation 10% (typical
+  // public-cloud low bound) to 75% (Google high bound) on both.
+  scenarios.push_back({"Web service, low utilization", dell, 3, 0.10,
+                       edison, 35, 0.10});
+  scenarios.push_back({"Web service, high utilization", dell, 3, 0.75,
+                       edison, 35, 0.75});
+  // Big data: 35 Edisons replace 2 Dells; the Edison cluster takes 1.35-4x
+  // longer per job, so it is modelled at constant 100% utilisation while
+  // Dell spans 25-74%.
+  scenarios.push_back({"Big data, low utilization", dell, 2, 0.25, edison,
+                       35, 1.0});
+  scenarios.push_back({"Big data, high utilization", dell, 2, 0.74, edison,
+                       35, 1.0});
+  return scenarios;
+}
+
+}  // namespace wimpy::core

@@ -1,0 +1,66 @@
+// Total-cost-of-ownership model (paper §6, Equation 1, Tables 9 & 10).
+//
+//   C = Cs + Ce = Cs + Ts * Ceph * (U * Pp + (1 - U) * Pi)
+//
+// Server cost plus electricity over the deployment lifetime, with the
+// server drawing peak power while active and idle power otherwise.
+#ifndef WIMPY_CORE_TCO_H_
+#define WIMPY_CORE_TCO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "hw/profile.h"
+
+namespace wimpy::core {
+
+struct TcoParams {
+  double unit_cost_usd = 0;        // Cs per node
+  Watts peak_power = 0;            // Pp
+  Watts idle_power = 0;            // Pi
+  double electricity_usd_per_kwh = 0.10;  // Ceph (US average)
+  double lifetime_years = 3;              // Ts
+};
+
+// Builds params from a hardware profile (Table 9 values for the
+// built-ins).
+TcoParams TcoParamsFor(const hw::HardwareProfile& profile);
+
+// Mean electrical power at utilisation U.
+Watts MeanPower(const TcoParams& params, double utilization);
+
+// Lifetime electricity cost for `servers` nodes at utilisation U.
+double ElectricityCostUsd(const TcoParams& params, int servers,
+                          double utilization);
+
+// Full TCO: purchase + electricity.
+double TcoUsd(const TcoParams& params, int servers, double utilization);
+
+// One Table 10 row: a named scenario comparing two deployments.
+struct TcoScenario {
+  std::string name;
+  TcoParams a_params;
+  int a_servers = 0;
+  double a_utilization = 0;
+  TcoParams b_params;
+  int b_servers = 0;
+  double b_utilization = 0;
+};
+
+struct TcoComparison {
+  std::string name;
+  double a_total_usd = 0;
+  double b_total_usd = 0;
+  double savings_fraction = 0;  // 1 - b/a
+};
+
+TcoComparison Compare(const TcoScenario& scenario);
+
+// The paper's four Table 10 rows: web service and big data, each at the
+// low and high utilisation bounds (Dell is deployment A, Edison B).
+std::vector<TcoScenario> PaperTable10Scenarios();
+
+}  // namespace wimpy::core
+
+#endif  // WIMPY_CORE_TCO_H_

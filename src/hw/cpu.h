@@ -1,0 +1,51 @@
+// CPU model: a fair-share server over measured DMIPS.
+//
+// A node's CPU is a pool of `total_dmips()` million-instructions-per-second
+// shared among runnable tasks, where one task can never exceed one hardware
+// thread's `dmips_per_thread`. This reproduces both measured behaviours the
+// paper leans on: single-thread speed ratios (Dhrystone, sysbench 1-thread)
+// and whole-node throughput ratios (~100x Dell vs Edison).
+#ifndef WIMPY_HW_CPU_H_
+#define WIMPY_HW_CPU_H_
+
+#include "hw/profile.h"
+#include "sim/fair_share.h"
+#include "sim/task.h"
+
+namespace wimpy::hw {
+
+class CpuModel {
+ public:
+  CpuModel(sim::Scheduler* sched, const CpuSpec& spec);
+
+  CpuModel(const CpuModel&) = delete;
+  CpuModel& operator=(const CpuModel&) = delete;
+
+  // Executes `minstr` million Dhrystone-equivalent instructions, sharing
+  // the CPU with all concurrent work on this node.
+  sim::Task<void> Execute(double minstr);
+
+  // Wall time `minstr` would take on an otherwise idle thread.
+  Duration IdealThreadTime(double minstr) const {
+    return minstr / spec_.dmips_per_thread;
+  }
+
+  const CpuSpec& spec() const { return spec_; }
+  double total_dmips() const { return spec_.total_dmips(); }
+  int vcores() const { return spec_.hardware_threads(); }
+  double busy_fraction() const { return server_.busy_fraction(); }
+  double AverageBusyFraction() const {
+    return server_.AverageBusyFraction();
+  }
+  std::size_t runnable_tasks() const { return server_.active_jobs(); }
+
+  sim::FairShareServer& server() { return server_; }
+
+ private:
+  CpuSpec spec_;
+  sim::FairShareServer server_;
+};
+
+}  // namespace wimpy::hw
+
+#endif  // WIMPY_HW_CPU_H_

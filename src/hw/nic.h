@@ -1,0 +1,48 @@
+// Network interface model: independent transmit and receive fair-share
+// channels at the measured link bandwidth.
+//
+// Actual end-to-end transfers are orchestrated by net::Fabric, which
+// serialises a flow through the sender's tx channel, the fabric bottleneck
+// and the receiver's rx channel. The NIC exposes the two endpoint channels
+// plus per-direction accounting for the utilisation reports.
+#ifndef WIMPY_HW_NIC_H_
+#define WIMPY_HW_NIC_H_
+
+#include "hw/profile.h"
+#include "sim/fair_share.h"
+
+namespace wimpy::hw {
+
+class NicModel {
+ public:
+  NicModel(sim::Scheduler* sched, const NicSpec& spec);
+
+  NicModel(const NicModel&) = delete;
+  NicModel& operator=(const NicModel&) = delete;
+
+  sim::FairShareServer& tx() { return tx_; }
+  sim::FairShareServer& rx() { return rx_; }
+
+  const NicSpec& spec() const { return spec_; }
+  BytesPerSecond bandwidth() const { return spec_.bandwidth; }
+  Duration endpoint_latency() const { return spec_.endpoint_latency; }
+
+  // Busy fraction of the busier direction (what a monitoring tool reports).
+  double busy_fraction() const;
+
+  void AddBytesSent(Bytes n) { bytes_sent_ += n; }
+  void AddBytesReceived(Bytes n) { bytes_received_ += n; }
+  Bytes bytes_sent() const { return bytes_sent_; }
+  Bytes bytes_received() const { return bytes_received_; }
+
+ private:
+  NicSpec spec_;
+  sim::FairShareServer tx_;
+  sim::FairShareServer rx_;
+  Bytes bytes_sent_ = 0;
+  Bytes bytes_received_ = 0;
+};
+
+}  // namespace wimpy::hw
+
+#endif  // WIMPY_HW_NIC_H_

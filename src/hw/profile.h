@@ -1,0 +1,90 @@
+// Hardware profiles: the calibrated capacity and power description of one
+// server model.
+//
+// Every number in the built-in profiles (profiles.h) is taken from the
+// paper's Section 3/4 single-node measurements, so cluster-level behaviour
+// emerges from measured component capacities rather than nameplate specs —
+// the paper's central observation is precisely that the two differ by an
+// order of magnitude for CPU.
+#ifndef WIMPY_HW_PROFILE_H_
+#define WIMPY_HW_PROFILE_H_
+
+#include <string>
+
+#include "common/units.h"
+
+namespace wimpy::hw {
+
+// CPU capacity in measured Dhrystone MIPS (DMIPS). CPU work demands across
+// the library are expressed in millions of Dhrystone-equivalent
+// instructions, so a demand of D executes in D / dmips seconds on an
+// otherwise idle thread.
+struct CpuSpec {
+  int cores = 1;
+  int threads_per_core = 1;
+  double clock_hz = 1e9;           // nameplate, for capacity-planning math
+  double dmips_per_thread = 1000;  // measured single-thread throughput
+  // Fraction of an extra full thread contributed by each SMT sibling.
+  // Total throughput = dmips_per_thread * cores *
+  //                    (1 + smt_yield * (threads_per_core - 1)).
+  double smt_yield = 0.0;
+
+  int hardware_threads() const { return cores * threads_per_core; }
+  double total_dmips() const {
+    return dmips_per_thread * cores *
+           (1.0 + smt_yield * (threads_per_core - 1));
+  }
+};
+
+struct MemorySpec {
+  Bytes total = 0;
+  BytesPerSecond peak_bandwidth = 0;        // all threads driving
+  BytesPerSecond per_thread_bandwidth = 0;  // single-thread achievable
+};
+
+struct StorageSpec {
+  Bytes capacity = 0;
+  BytesPerSecond write_direct = 0;    // dd oflag=dsync
+  BytesPerSecond write_buffered = 0;  // dd through page cache
+  BytesPerSecond read_direct = 0;     // dd after cache flush
+  BytesPerSecond read_buffered = 0;   // dd from page cache
+  Duration write_latency = 0;         // ioping
+  Duration read_latency = 0;          // ioping
+};
+
+struct NicSpec {
+  BytesPerSecond bandwidth = 0;
+  // One-endpoint contribution to RTT/2; the measured ping between two nodes
+  // is the sum of both endpoints' latencies (plus switch hops in net/).
+  Duration endpoint_latency = 0;
+};
+
+// Whole-node power envelope plus the component weights that map component
+// utilisations onto the idle..busy dynamic range:
+//   P = idle + (busy - idle) * min(1, sum_i weight_i * util_i).
+struct PowerSpec {
+  Watts idle = 0;
+  Watts busy = 0;
+  // The Edison USB Ethernet adapter draws ~1 W regardless of load and is
+  // *included* in idle/busy above (the paper includes it too). Stored
+  // separately so the adapter-power ablation bench can subtract it.
+  Watts constant_adapter = 0;
+  double cpu_weight = 0.65;
+  double memory_weight = 0.10;
+  double storage_weight = 0.10;
+  double nic_weight = 0.15;
+};
+
+struct HardwareProfile {
+  std::string name;
+  CpuSpec cpu;
+  MemorySpec memory;
+  StorageSpec storage;
+  NicSpec nic;
+  PowerSpec power;
+  double unit_cost_usd = 0;  // per node, incl. amortised switch/cabling
+};
+
+}  // namespace wimpy::hw
+
+#endif  // WIMPY_HW_PROFILE_H_

@@ -1,0 +1,166 @@
+#include "hw/profiles.h"
+
+#include <map>
+#include <mutex>
+
+namespace wimpy::hw {
+
+HardwareProfile EdisonProfile() {
+  HardwareProfile p;
+  p.name = "edison";
+
+  // §4.1: 632.3 DMIPS per thread; 2 Atom-class cores at 500 MHz, no SMT.
+  p.cpu.cores = 2;
+  p.cpu.threads_per_core = 1;
+  p.cpu.clock_hz = 500e6;
+  p.cpu.dmips_per_thread = 632.3;
+  p.cpu.smt_yield = 0.0;
+
+  // §4.2: saturates at 2.2 GB/s with 2 threads; 1 GB LPDDR3 at 800 MHz.
+  p.memory.total = GB(1);
+  p.memory.peak_bandwidth = GBps(2.2);
+  p.memory.per_thread_bandwidth = GBps(1.1);
+
+  // Table 5 (8 GB microSD).
+  p.storage.capacity = GB(8);
+  p.storage.write_direct = MBps(4.5);
+  p.storage.write_buffered = MBps(9.3);
+  p.storage.read_direct = MBps(19.5);
+  p.storage.read_buffered = MBps(737);
+  p.storage.write_latency = Milliseconds(18.0);
+  p.storage.read_latency = Milliseconds(7.0);
+
+  // §4.4: 100 Mbps USB adapter; Edison<->Edison ping 1.3 ms.
+  p.nic.bandwidth = Mbps(100);
+  p.nic.endpoint_latency = Milliseconds(0.65);
+
+  // Table 3, with-adapter row. 35 nodes: 49.0 W idle, 58.8 W busy.
+  p.power.idle = 1.40;
+  p.power.busy = 1.68;
+  p.power.constant_adapter = 1.0;
+
+  // §6: $68 module+breakout, $15 adapter, $27 microSD kit, $10 amortised
+  // switch/cables.
+  p.unit_cost_usd = 120.0;
+  return p;
+}
+
+HardwareProfile DellR620Profile() {
+  HardwareProfile p;
+  p.name = "dell-r620";
+
+  // §4.1: 11383 DMIPS per thread (18x Edison); 6 cores x 2 SMT at 2 GHz.
+  // The smt_yield of 0.85 reproduces the paper's measured ~100x whole-node
+  // gap over one Edison (126351 / 1264.6 = 99.9).
+  p.cpu.cores = 6;
+  p.cpu.threads_per_core = 2;
+  p.cpu.clock_hz = 2e9;
+  p.cpu.dmips_per_thread = 11383.0;
+  p.cpu.smt_yield = 0.85;
+
+  // §4.2: 36 GB/s peak, saturating around 12 threads.
+  p.memory.total = GB(16);
+  p.memory.peak_bandwidth = GBps(36);
+  p.memory.per_thread_bandwidth = GBps(3);
+
+  // Table 5 (1 TB 15K SAS).
+  p.storage.capacity = GB(1000);
+  p.storage.write_direct = MBps(24.0);
+  p.storage.write_buffered = MBps(83.2);
+  p.storage.read_direct = MBps(86.1);
+  p.storage.read_buffered = GBps(3.1);
+  p.storage.write_latency = Milliseconds(5.04);
+  p.storage.read_latency = Milliseconds(0.829);
+
+  // §4.4: 1 Gbps integrated NIC; Dell<->Dell ping 0.24 ms.
+  p.nic.bandwidth = Gbps(1);
+  p.nic.endpoint_latency = Milliseconds(0.12);
+
+  // Table 3: 52 W idle, 109 W busy.
+  p.power.idle = 52.0;
+  p.power.busy = 109.0;
+  p.power.constant_adapter = 0.0;
+
+  p.unit_cost_usd = 2500.0;
+  return p;
+}
+
+HardwareProfile RaspberryPi2Profile() {
+  HardwareProfile p;
+  p.name = "raspberry-pi-2";
+
+  // Table 1 row: 4 x 900 MHz, 1 GB. DMIPS figure is the commonly cited
+  // ~1.57 DMIPS/MHz for Cortex-A7.
+  p.cpu.cores = 4;
+  p.cpu.threads_per_core = 1;
+  p.cpu.clock_hz = 900e6;
+  p.cpu.dmips_per_thread = 1413.0;
+  p.cpu.smt_yield = 0.0;
+
+  p.memory.total = GB(1);
+  p.memory.peak_bandwidth = GBps(1.6);
+  p.memory.per_thread_bandwidth = GBps(0.8);
+
+  p.storage.capacity = GB(16);
+  p.storage.write_direct = MBps(6.0);
+  p.storage.write_buffered = MBps(12.0);
+  p.storage.read_direct = MBps(21.0);
+  p.storage.read_buffered = MBps(600);
+  p.storage.write_latency = Milliseconds(15.0);
+  p.storage.read_latency = Milliseconds(6.0);
+
+  p.nic.bandwidth = Mbps(100);
+  p.nic.endpoint_latency = Milliseconds(0.5);
+
+  p.power.idle = 1.8;
+  p.power.busy = 3.7;
+  p.power.constant_adapter = 0.0;
+
+  p.unit_cost_usd = 55.0;
+  return p;
+}
+
+namespace {
+
+std::mutex& RegistryMutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+std::map<std::string, HardwareProfile>& RegistryMap() {
+  static auto* map = [] {
+    auto* m = new std::map<std::string, HardwareProfile>;
+    for (const auto& p :
+         {EdisonProfile(), DellR620Profile(), RaspberryPi2Profile()}) {
+      (*m)[p.name] = p;
+    }
+    return m;
+  }();
+  return *map;
+}
+
+}  // namespace
+
+void ProfileRegistry::Register(const HardwareProfile& profile) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  RegistryMap()[profile.name] = profile;
+}
+
+StatusOr<HardwareProfile> ProfileRegistry::Get(const std::string& name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto& map = RegistryMap();
+  auto it = map.find(name);
+  if (it == map.end()) {
+    return Status::NotFound("no hardware profile named '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> ProfileRegistry::Names() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::vector<std::string> names;
+  for (const auto& [name, profile] : RegistryMap()) names.push_back(name);
+  return names;
+}
+
+}  // namespace wimpy::hw

@@ -1,0 +1,39 @@
+// Built-in calibrated hardware profiles and the extensible registry.
+#ifndef WIMPY_HW_PROFILES_H_
+#define WIMPY_HW_PROFILES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hw/profile.h"
+
+namespace wimpy::hw {
+
+// Intel Edison compute module + microSD board + 100 Mbps USB Ethernet
+// adapter, as deployed in the paper's 35-node cluster.
+HardwareProfile EdisonProfile();
+
+// Dell PowerEdge R620: Xeon E5-2620 (6 cores, HT, 2 GHz), 16 GB, 1 GbE,
+// 1 TB 15K SAS.
+HardwareProfile DellR620Profile();
+
+// Raspberry Pi 2 Model B, the mobile-class reference from the related-work
+// table; used by the examples to show how to evaluate new hardware.
+HardwareProfile RaspberryPi2Profile();
+
+// Global name -> profile registry. The built-ins above are pre-registered
+// under "edison", "dell-r620" and "raspberry-pi-2".
+class ProfileRegistry {
+ public:
+  // Registers or replaces a profile under profile.name.
+  static void Register(const HardwareProfile& profile);
+
+  static StatusOr<HardwareProfile> Get(const std::string& name);
+
+  static std::vector<std::string> Names();
+};
+
+}  // namespace wimpy::hw
+
+#endif  // WIMPY_HW_PROFILES_H_

@@ -1,0 +1,18 @@
+#include "hw/server_node.h"
+
+namespace wimpy::hw {
+
+ServerNode::ServerNode(sim::Scheduler* sched, const HardwareProfile& profile,
+                       int id)
+    : sched_(sched),
+      profile_(profile),
+      id_(id),
+      name_(profile.name + "-" + std::to_string(id)),
+      cpu_(sched, profile.cpu),
+      memory_(sched, profile.memory),
+      storage_(sched, profile.storage),
+      nic_(sched, profile.nic),
+      power_(sched, profile.power, &cpu_.server(), &memory_.bus(),
+             &storage_.channel(), &nic_.tx(), &nic_.rx()) {}
+
+}  // namespace wimpy::hw

@@ -1,0 +1,58 @@
+// A complete simulated server: CPU + memory + storage + NIC + power meter.
+//
+// ServerNode is the unit the cluster layer composes. All workload layers
+// consume resources exclusively through a node's component models, so the
+// power meter sees every byte and instruction.
+#ifndef WIMPY_HW_SERVER_NODE_H_
+#define WIMPY_HW_SERVER_NODE_H_
+
+#include <memory>
+#include <string>
+
+#include "hw/cpu.h"
+#include "hw/memory.h"
+#include "hw/nic.h"
+#include "hw/power.h"
+#include "hw/profile.h"
+#include "hw/storage.h"
+#include "sim/scheduler.h"
+#include "sim/task.h"
+
+namespace wimpy::hw {
+
+class ServerNode {
+ public:
+  ServerNode(sim::Scheduler* sched, const HardwareProfile& profile, int id);
+
+  ServerNode(const ServerNode&) = delete;
+  ServerNode& operator=(const ServerNode&) = delete;
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const HardwareProfile& profile() const { return profile_; }
+  sim::Scheduler& scheduler() { return *sched_; }
+
+  CpuModel& cpu() { return cpu_; }
+  MemoryModel& memory() { return memory_; }
+  StorageDevice& storage() { return storage_; }
+  NicModel& nic() { return nic_; }
+  NodePowerModel& power() { return power_; }
+
+  // Convenience: executes CPU work expressed in million instructions.
+  sim::Task<void> Compute(double minstr) { return cpu_.Execute(minstr); }
+
+ private:
+  sim::Scheduler* sched_;
+  HardwareProfile profile_;
+  int id_;
+  std::string name_;
+  CpuModel cpu_;
+  MemoryModel memory_;
+  StorageDevice storage_;
+  NicModel nic_;
+  NodePowerModel power_;
+};
+
+}  // namespace wimpy::hw
+
+#endif  // WIMPY_HW_SERVER_NODE_H_

@@ -1,0 +1,62 @@
+// Storage device model calibrated from the dd/ioping measurements
+// (paper Table 5).
+//
+// The device is one shared channel: an operation's demand is expressed in
+// *device-seconds* (bytes / mode-rate), so concurrent operations slow each
+// other down proportionally regardless of mode. Small random accesses pay
+// the measured per-request latency on top.
+#ifndef WIMPY_HW_STORAGE_H_
+#define WIMPY_HW_STORAGE_H_
+
+#include "hw/profile.h"
+#include "sim/fair_share.h"
+#include "sim/scheduler.h"
+#include "sim/task.h"
+
+namespace wimpy::hw {
+
+class StorageDevice {
+ public:
+  StorageDevice(sim::Scheduler* sched, const StorageSpec& spec);
+
+  StorageDevice(const StorageDevice&) = delete;
+  StorageDevice& operator=(const StorageDevice&) = delete;
+
+  // Sequential transfers (dd semantics); `buffered` selects the page-cache
+  // rate vs the direct/dsync rate.
+  sim::Task<void> Read(Bytes bytes, bool buffered = true);
+  sim::Task<void> Write(Bytes bytes, bool buffered = true);
+
+  // Small random access (ioping semantics): measured latency plus the
+  // transfer of `bytes` at the direct rate.
+  sim::Task<void> RandomRead(Bytes bytes);
+  sim::Task<void> RandomWrite(Bytes bytes);
+
+  // Wall time of an uncontended sequential transfer.
+  Duration IdealTime(Bytes bytes, bool write, bool buffered) const;
+
+  double busy_fraction() const { return channel_.busy_fraction(); }
+  sim::FairShareServer& channel() { return channel_; }
+  double AverageBusyFraction() const {
+    return channel_.AverageBusyFraction();
+  }
+  const StorageSpec& spec() const { return spec_; }
+
+  // Bytes moved in either direction since construction (for reports).
+  Bytes bytes_read() const { return bytes_read_; }
+  Bytes bytes_written() const { return bytes_written_; }
+
+ private:
+  BytesPerSecond Rate(bool write, bool buffered) const;
+
+  sim::Scheduler* sched_;
+  StorageSpec spec_;
+  // Demand unit: device-seconds; capacity is 1 device-second per second.
+  sim::FairShareServer channel_;
+  Bytes bytes_read_ = 0;
+  Bytes bytes_written_ = 0;
+};
+
+}  // namespace wimpy::hw
+
+#endif  // WIMPY_HW_STORAGE_H_

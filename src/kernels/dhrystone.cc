@@ -1,0 +1,112 @@
+#include "kernels/dhrystone.h"
+
+#include <chrono>
+#include <cstring>
+
+namespace wimpy::kernels {
+
+namespace {
+
+// Miniature rendition of the Dhrystone 2.1 data mix: records, enum
+// dispatch, string copy/compare, array writes, and call-heavy integer
+// arithmetic. The absolute score is not meant to match the original
+// benchmark; the *relative* load per iteration is stable, which is all the
+// calibration needs.
+enum class Ident { kIdent1, kIdent2, kIdent3, kIdent4, kIdent5 };
+
+struct Record {
+  Record* next = nullptr;
+  Ident discr = Ident::kIdent1;
+  int int_comp = 0;
+  char string_comp[31] = {};
+};
+
+// Like the original Dhrystone Func_1: "identical" result only when the
+// characters DIFFER (the benchmark's famously confusing convention, which
+// is what makes Func_2's loop terminate).
+int Func1(char ch1, char ch2) { return ch1 == ch2 ? 1 : 0; }
+
+bool Func2(const char* s1, const char* s2) {
+  int int_loc = 2;
+  char ch_loc = 'A';
+  while (int_loc <= 2) {
+    if (Func1(s1[int_loc], s2[int_loc + 1]) == 0) {
+      ch_loc = 'A';
+      ++int_loc;
+    } else {
+      // Characters matched (cannot happen for the canonical strings, but
+      // keeps the loop total for any input).
+      ++int_loc;
+      ch_loc = 'R';
+    }
+  }
+  if (ch_loc >= 'W' && ch_loc < 'Z') int_loc = 7;
+  if (ch_loc == 'R') return true;
+  return std::strcmp(s1, s2) > 0;
+}
+
+int Proc7(int a, int b) { return b + a + 2; }
+
+void Proc8(int* array1, int (*array2)[50], int int_par1, int int_par2) {
+  const int idx = int_par1 + 5;
+  array1[idx] = int_par2;
+  array1[idx + 1] = array1[idx];
+  array1[idx + 30] = idx;
+  for (int i = idx; i <= idx + 1; ++i) (*array2)[i] = array1[idx];
+  (*array2)[idx + 20] += array1[idx];
+}
+
+}  // namespace
+
+DhrystoneResult RunDhrystone(std::int64_t iterations) {
+  Record glob{};
+  Record next_glob{};
+  glob.next = &next_glob;
+  glob.discr = Ident::kIdent1;
+  glob.int_comp = 40;
+  std::strcpy(glob.string_comp, "DHRYSTONE PROGRAM, SOME STRING");
+
+  char string1[31] = "DHRYSTONE PROGRAM, 1'ST STRING";
+  char string2[31];
+  int array1[80] = {};
+  int array2[80][50] = {};
+
+  std::uint64_t checksum = 0;
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::int64_t run = 0; run < iterations; ++run) {
+    int int1 = 2;
+    int int2 = 3;
+    std::strcpy(string2, "DHRYSTONE PROGRAM, 2'ND STRING");
+    bool bool_glob = !Func2(string1, string2);
+    int int3 = 0;
+    while (int1 < int2) {
+      int3 = 5 * int1 - int2;
+      int3 = Proc7(int1, int2);
+      ++int1;
+    }
+    Proc8(array1, &array2[int1], int1, int3);
+    glob.next->int_comp = glob.int_comp + (bool_glob ? 5 : 7);
+    glob.next->discr =
+        glob.int_comp % 2 == 0 ? Ident::kIdent1 : Ident::kIdent2;
+    checksum += static_cast<std::uint64_t>(glob.next->int_comp) +
+                static_cast<std::uint64_t>(int3) +
+                static_cast<std::uint64_t>(string2[7]);
+    // Rotate mutated state so iterations are not trivially foldable.
+    glob.int_comp = static_cast<int>(checksum % 50) + 10;
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  DhrystoneResult result;
+  result.iterations = iterations;
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  result.checksum = checksum;
+  if (result.seconds > 0) {
+    result.dhrystones_per_sec =
+        static_cast<double>(iterations) / result.seconds;
+    result.dmips = result.dhrystones_per_sec / kDhrystonesPerMip;
+  }
+  return result;
+}
+
+}  // namespace wimpy::kernels

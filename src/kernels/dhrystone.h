@@ -1,0 +1,42 @@
+// Dhrystone-style synthetic CPU kernel (after Weicker's Dhrystone 2.1).
+//
+// Two uses:
+//  1. Host execution (`RunDhrystone`) — genuinely runs the integer/string/
+//     record mix on the build machine and reports DMIPS, like the paper's
+//     §4.1 methodology (score = iterations/sec ÷ 1757).
+//  2. Work-unit definition — all simulated CPU demands in this library are
+//     measured in millions of Dhrystone-equivalent instructions (Minstr),
+//     and a hardware profile's `dmips_per_thread` is its service rate.
+//     `MinstrForIterations` converts an iteration count into that unit.
+#ifndef WIMPY_KERNELS_DHRYSTONE_H_
+#define WIMPY_KERNELS_DHRYSTONE_H_
+
+#include <cstdint>
+
+namespace wimpy::kernels {
+
+// VAX 11/780 reference: 1757 Dhrystones/second == 1 MIPS.
+inline constexpr double kDhrystonesPerMip = 1757.0;
+
+struct DhrystoneResult {
+  std::int64_t iterations = 0;
+  double seconds = 0;            // host wall time
+  double dhrystones_per_sec = 0;
+  double dmips = 0;
+  // Checksum of kernel state; consumed so the optimiser cannot delete the
+  // loop, and useful as a correctness probe (deterministic per count).
+  std::uint64_t checksum = 0;
+};
+
+// Executes `iterations` passes of the synthetic mix on the host.
+DhrystoneResult RunDhrystone(std::int64_t iterations);
+
+// Simulation demand for a Dhrystone run: N iterations at 1 DMIPS take
+// N / 1757 seconds, so the demand is N / 1757 Minstr.
+inline double MinstrForIterations(double iterations) {
+  return iterations / kDhrystonesPerMip;
+}
+
+}  // namespace wimpy::kernels
+
+#endif  // WIMPY_KERNELS_DHRYSTONE_H_

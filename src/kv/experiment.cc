@@ -1,0 +1,208 @@
+#include "kv/experiment.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "hw/profiles.h"
+#include "sim/process.h"
+
+namespace wimpy::kv {
+
+namespace {
+
+struct KvTestbed {
+  explicit KvTestbed(const KvExperimentConfig& config)
+      : fabric(&sched), clstr(&sched, &fabric), rng(config.seed) {
+    fabric.SetGroupLink("client-room", "store-room", Gbps(10),
+                        Milliseconds(0.02));
+    auto store_nodes = clstr.AddNodes(config.node_profile,
+                                      config.node_count, "kv-store",
+                                      "store-room");
+    auto client_nodes = clstr.AddNodes(hw::DellR620Profile(),
+                                       config.client_machines, "client",
+                                       "client-room");
+    for (auto* node : store_nodes) {
+      stores.push_back(std::make_unique<KvNode>(node, &fabric,
+                                                config.store, rng.Next()));
+    }
+    for (auto* node : client_nodes) client_ids.push_back(node->id());
+  }
+
+  sim::Scheduler sched;
+  net::Fabric fabric;
+  cluster::Cluster clstr;
+  Rng rng;
+  std::vector<std::unique_ptr<KvNode>> stores;
+  std::vector<int> client_ids;
+};
+
+struct KvWindow {
+  SimTime start = 0;
+  SimTime end = 0;
+  std::int64_t done = 0;
+  std::int64_t failed = 0;
+  OnlineStats latency;
+  PercentileTracker percentiles;
+};
+
+// Ring routing with failover: the first healthy node at or after the
+// hashed position serves the request (FAWN's consistent-hashing ring at
+// this fidelity).
+KvNode* RouteToHealthy(KvTestbed& tb, std::size_t position) {
+  for (std::size_t i = 0; i < tb.stores.size(); ++i) {
+    KvNode* node = tb.stores[(position + i) % tb.stores.size()].get();
+    if (!node->failed()) return node;
+  }
+  return nullptr;
+}
+
+sim::Process OneQuery(KvTestbed& tb, const KvExperimentConfig& config,
+                      KvWindow& window, Rng rng) {
+  const SimTime started = tb.sched.now();
+  const std::size_t position = rng.NextBelow(tb.stores.size());
+  KvNode* store = RouteToHealthy(tb, position);
+  const int client =
+      tb.client_ids[rng.NextBelow(tb.client_ids.size())];
+  const Bytes value = std::max<Bytes>(
+      64, static_cast<Bytes>(rng.LogNormalMeanStd(
+              static_cast<double>(config.store.value_size_mean),
+              static_cast<double>(config.store.value_size_stddev))));
+  bool ok = store != nullptr;
+  if (ok && rng.Bernoulli(config.get_fraction)) {
+    co_await store->Get(client, value);
+  } else if (ok) {
+    co_await store->Put(client, value);
+    // Chain replication to the next healthy successors.
+    int upstream = store->node().id();
+    int replicated = 1;
+    for (std::size_t i = 1;
+         i < tb.stores.size() && replicated < config.replication; ++i) {
+      KvNode* replica =
+          tb.stores[(position + i) % tb.stores.size()].get();
+      if (replica->failed() || replica == store) continue;
+      co_await replica->ApplyReplicatedWrite(upstream, value);
+      upstream = replica->node().id();
+      ++replicated;
+    }
+  }
+  const SimTime finished = tb.sched.now();
+  if (started >= window.start && started < window.end) {
+    if (ok) {
+      ++window.done;
+      window.latency.Add(finished - started);
+      window.percentiles.Add(finished - started);
+    } else {
+      ++window.failed;
+    }
+  }
+}
+
+sim::Process Arrivals(KvTestbed& tb, const KvExperimentConfig& config,
+                      KvWindow& window, double qps, Rng rng) {
+  while (tb.sched.now() < window.end) {
+    co_await sim::Delay(tb.sched, rng.Exponential(qps));
+    if (tb.sched.now() >= window.end) break;
+    sim::Spawn(tb.sched, OneQuery(tb, config, window, rng.Fork()));
+  }
+}
+
+}  // namespace
+
+KvReport KvExperiment::Measure(double target_qps, Duration measure) {
+  KvTestbed tb(config_);
+  KvWindow window;
+  window.start = Seconds(2);
+  window.end = window.start + measure;
+
+  Joules epoch = 0;
+  tb.sched.ScheduleAt(window.start, [&] {
+    epoch = tb.clstr.CumulativeJoules({"kv-store"});
+  });
+  Joules spent = 0;
+  tb.sched.ScheduleAt(window.end, [&] {
+    spent = tb.clstr.CumulativeJoules({"kv-store"}) - epoch;
+  });
+
+  sim::Spawn(tb.sched,
+             Arrivals(tb, config_, window, target_qps, tb.rng.Fork()));
+  tb.sched.Run();
+
+  KvReport report;
+  report.target_qps = target_qps;
+  report.achieved_qps = static_cast<double>(window.done) / measure;
+  report.mean_latency = window.latency.mean();
+  report.p99_latency = window.percentiles.Percentile(0.99);
+  report.error_rate =
+      window.done + window.failed == 0
+          ? 0.0
+          : static_cast<double>(window.failed) /
+                static_cast<double>(window.done + window.failed);
+  report.store_power = spent / measure;
+  report.queries_per_joule =
+      spent > 0 ? static_cast<double>(window.done) / spent : 0;
+  return report;
+}
+
+KvReport KvExperiment::MeasureWithFailover(double target_qps,
+                                           int failed_nodes,
+                                           Duration measure) {
+  KvTestbed tb(config_);
+  KvWindow window;
+  window.start = Seconds(2);
+  window.end = window.start + measure;
+
+  const int to_fail = std::min<int>(
+      failed_nodes, static_cast<int>(tb.stores.size()) - 1);
+  tb.sched.ScheduleAt(window.start + measure / 2, [&tb, to_fail] {
+    for (int i = 0; i < to_fail; ++i) tb.stores[i]->set_failed(true);
+  });
+
+  Joules epoch = 0;
+  tb.sched.ScheduleAt(window.start, [&] {
+    epoch = tb.clstr.CumulativeJoules({"kv-store"});
+  });
+  Joules spent = 0;
+  tb.sched.ScheduleAt(window.end, [&] {
+    spent = tb.clstr.CumulativeJoules({"kv-store"}) - epoch;
+  });
+
+  sim::Spawn(tb.sched,
+             Arrivals(tb, config_, window, target_qps, tb.rng.Fork()));
+  tb.sched.Run();
+
+  KvReport report;
+  report.target_qps = target_qps;
+  report.achieved_qps = static_cast<double>(window.done) / measure;
+  report.error_rate =
+      window.done + window.failed == 0
+          ? 0.0
+          : static_cast<double>(window.failed) /
+                static_cast<double>(window.done + window.failed);
+  report.mean_latency = window.latency.mean();
+  report.p99_latency = window.percentiles.Percentile(0.99);
+  report.store_power = spent / measure;
+  report.queries_per_joule =
+      spent > 0 ? static_cast<double>(window.done) / spent : 0;
+  return report;
+}
+
+KvReport KvExperiment::FindPeak(double start_qps, double max_qps) {
+  KvReport best;
+  Duration baseline_latency = 0;
+  for (double qps = start_qps; qps <= max_qps; qps *= 2.0) {
+    const KvReport report = Measure(qps, Seconds(10));
+    if (baseline_latency == 0) baseline_latency = report.mean_latency;
+    // Knee detection: stop once the system can no longer keep up or the
+    // latency has blown out by an order of magnitude.
+    if (report.achieved_qps < 0.85 * qps ||
+        report.mean_latency > 10 * baseline_latency) {
+      break;
+    }
+    best = report;
+  }
+  return best;
+}
+
+}  // namespace wimpy::kv

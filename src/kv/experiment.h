@@ -1,0 +1,68 @@
+// Key-value cluster experiment: queries-per-joule on any hardware profile
+// (the FAWN comparison, reproduced on this library's substrate).
+#ifndef WIMPY_KV_EXPERIMENT_H_
+#define WIMPY_KV_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "hw/profile.h"
+#include "kv/store.h"
+
+namespace wimpy::kv {
+
+struct KvExperimentConfig {
+  hw::HardwareProfile node_profile;
+  int node_count = 8;
+  int client_machines = 4;  // Dell-class load generators
+  KvConfig store;
+  double get_fraction = 0.90;
+  // FAWN-style chain replication across ring successors (1 = none).
+  int replication = 1;
+  // Nodes failed mid-run by FailNodes(); reads/writes route to the next
+  // healthy successor.
+  std::uint64_t seed = 20090101;  // FAWN's year
+};
+
+struct KvReport {
+  double target_qps = 0;
+  double achieved_qps = 0;
+  double error_rate = 0;       // only overload drops in this model: ~0
+  Duration mean_latency = 0;
+  Duration p99_latency = 0;
+  Watts store_power = 0;       // storage-node tier only, like FAWN
+  double queries_per_joule = 0;
+};
+
+class KvExperiment {
+ public:
+  explicit KvExperiment(KvExperimentConfig config)
+      : config_(std::move(config)) {}
+
+  // Open-loop Poisson load at `target_qps` for `measure` seconds (after a
+  // short warm-up); keys route uniformly across nodes (consistent-hash
+  // equivalent at this fidelity).
+  KvReport Measure(double target_qps, Duration measure = Seconds(20));
+
+  // Ramps the offered load until latency knees or throughput saturates;
+  // returns the report at the best stable point.
+  KvReport FindPeak(double start_qps, double max_qps);
+
+  // Failover run: `failed_nodes` stores crash halfway through the window;
+  // the ring routes requests to the next healthy successor (replication
+  // must be >= 2 for failed primaries' data to remain readable). Returns
+  // the report for the full window.
+  KvReport MeasureWithFailover(double target_qps, int failed_nodes,
+                               Duration measure = Seconds(20));
+
+  const KvExperimentConfig& config() const { return config_; }
+
+ private:
+  KvExperimentConfig config_;
+};
+
+}  // namespace wimpy::kv
+
+#endif  // WIMPY_KV_EXPERIMENT_H_

@@ -1,0 +1,47 @@
+#include "kv/store.h"
+
+namespace wimpy::kv {
+
+namespace {
+constexpr Bytes kRequestHopBytes = 64;  // key + header
+constexpr Bytes kAckBytes = 32;
+}  // namespace
+
+KvNode::KvNode(hw::ServerNode* node, net::Fabric* fabric,
+               const KvConfig& config, std::uint64_t seed)
+    : node_(node), fabric_(fabric), config_(config), rng_(seed) {
+  node_->memory().TryReserve(static_cast<Bytes>(
+      config_.ram_footprint_fraction *
+      static_cast<double>(node_->memory().total())));
+}
+
+sim::Task<void> KvNode::Get(int client_node, Bytes value_bytes) {
+  ++gets_;
+  co_await fabric_->Transfer(client_node, node_->id(), kRequestHopBytes);
+  co_await node_->cpu().Execute(config_.get_cpu_minstr);
+  if (rng_.Bernoulli(config_.ram_hit_ratio)) {
+    co_await node_->memory().Transfer(value_bytes);
+  } else {
+    co_await node_->storage().RandomRead(value_bytes);
+  }
+  co_await fabric_->Transfer(node_->id(), client_node, value_bytes);
+}
+
+sim::Task<void> KvNode::ApplyReplicatedWrite(int upstream_node,
+                                             Bytes value_bytes) {
+  co_await fabric_->Transfer(upstream_node, node_->id(), value_bytes);
+  co_await node_->cpu().Execute(config_.put_cpu_minstr);
+  co_await node_->storage().Write(value_bytes, /*buffered=*/true);
+}
+
+sim::Task<void> KvNode::Put(int client_node, Bytes value_bytes) {
+  ++puts_;
+  co_await fabric_->Transfer(client_node, node_->id(),
+                             kRequestHopBytes + value_bytes);
+  co_await node_->cpu().Execute(config_.put_cpu_minstr);
+  // Log-structured append: sequential, page-cache absorbed.
+  co_await node_->storage().Write(value_bytes, /*buffered=*/true);
+  co_await fabric_->Transfer(node_->id(), client_node, kAckBytes);
+}
+
+}  // namespace wimpy::kv

@@ -1,0 +1,122 @@
+#include "mapreduce/compute.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "mapreduce/textgen.h"
+
+namespace wimpy::mapreduce {
+
+MapStats WordCountMap(std::string_view text,
+                      std::map<std::string, std::int64_t>* counts) {
+  MapStats stats;
+  stats.input_bytes = static_cast<std::int64_t>(text.size());
+  std::map<std::string, std::int64_t> local;
+  auto& sink = counts != nullptr ? *counts : local;
+
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      if (text[i] == '\n') ++stats.input_records;
+      ++i;
+    }
+    const std::size_t start = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i > start) {
+      const std::string word(text.substr(start, i - start));
+      ++sink[word];
+      ++stats.output_records;
+      // Hadoop Text key + IntWritable value serialisation overhead.
+      stats.output_bytes += static_cast<std::int64_t>(word.size()) + 6;
+    }
+  }
+  if (!text.empty() && text.back() != '\n') ++stats.input_records;
+  stats.distinct_keys = static_cast<std::int64_t>(sink.size());
+  return stats;
+}
+
+MapStats LogCountMap(std::string_view log_text,
+                     std::map<std::string, std::int64_t>* counts) {
+  MapStats stats;
+  stats.input_bytes = static_cast<std::int64_t>(log_text.size());
+  std::map<std::string, std::int64_t> local;
+  auto& sink = counts != nullptr ? *counts : local;
+
+  std::size_t pos = 0;
+  while (pos < log_text.size()) {
+    std::size_t eol = log_text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = log_text.size();
+    const std::string_view line = log_text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.size() < 24) continue;
+    ++stats.input_records;
+    // "YYYY-MM-DD HH:MM:SS,mmm LEVEL ..." -> key "YYYY-MM-DD LEVEL".
+    const std::string_view date = line.substr(0, 10);
+    const std::size_t level_start = line.find(' ', 11);
+    if (level_start == std::string_view::npos) continue;
+    const std::size_t level_end = line.find(' ', level_start + 1);
+    if (level_end == std::string_view::npos) continue;
+    const std::string_view level =
+        line.substr(level_start + 1, level_end - level_start - 1);
+    if (level.empty() || level.size() > 5) continue;
+    std::string key(date);
+    key += ' ';
+    key += level;
+    ++sink[key];
+    ++stats.output_records;
+    stats.output_bytes += static_cast<std::int64_t>(key.size()) + 6;
+  }
+  stats.distinct_keys = static_cast<std::int64_t>(sink.size());
+  return stats;
+}
+
+std::string TeraSortRecords(std::string_view records) {
+  const std::size_t n = records.size() / kTeraRecordBytes;
+  std::vector<std::uint32_t> index(n);
+  for (std::size_t i = 0; i < n; ++i) index[i] = static_cast<std::uint32_t>(i);
+  std::sort(index.begin(), index.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return records.compare(a * kTeraRecordBytes, 10, records,
+                                     b * kTeraRecordBytes, 10) < 0;
+            });
+  std::string out;
+  out.reserve(records.size());
+  for (std::uint32_t i : index) {
+    out.append(records.substr(i * kTeraRecordBytes, kTeraRecordBytes));
+  }
+  return out;
+}
+
+bool TeraValidate(std::string_view sorted_records) {
+  const std::size_t n = sorted_records.size() / kTeraRecordBytes;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (sorted_records.compare((i - 1) * kTeraRecordBytes, 10,
+                               sorted_records, i * kTeraRecordBytes,
+                               10) > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+PiResult EstimatePi(std::int64_t samples, Rng& rng) {
+  PiResult result;
+  result.samples = samples;
+  for (std::int64_t i = 0; i < samples; ++i) {
+    const double x = rng.NextDouble() * 2 - 1;
+    const double y = rng.NextDouble() * 2 - 1;
+    if (x * x + y * y <= 1.0) ++result.inside;
+  }
+  result.estimate =
+      samples == 0 ? 0.0
+                   : 4.0 * static_cast<double>(result.inside) /
+                         static_cast<double>(samples);
+  return result;
+}
+
+}  // namespace wimpy::mapreduce

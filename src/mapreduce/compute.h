@@ -1,0 +1,82 @@
+// The actual map/reduce computations (host-executable).
+//
+// These run for real: wordcount tokenises and counts, logcount extracts
+// <date, level> keys, terasort sorts 100-byte records and validates order,
+// and the pi estimator throws darts. The simulator uses the statistics they
+// report (records in/out, bytes out) to parameterise job cost models, and
+// the tests use them as correctness oracles.
+#ifndef WIMPY_MAPREDUCE_COMPUTE_H_
+#define WIMPY_MAPREDUCE_COMPUTE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+
+namespace wimpy::mapreduce {
+
+// Statistics of one map-side computation over a data sample; ratios are
+// what the simulator consumes.
+struct MapStats {
+  std::int64_t input_bytes = 0;
+  std::int64_t input_records = 0;   // lines (or samples)
+  std::int64_t output_records = 0;  // emitted key/value pairs
+  std::int64_t output_bytes = 0;    // serialised map output
+  std::int64_t distinct_keys = 0;
+
+  double OutputRatio() const {
+    return input_bytes == 0
+               ? 0.0
+               : static_cast<double>(output_bytes) /
+                     static_cast<double>(input_bytes);
+  }
+  // Fraction of output surviving a combiner (one record per distinct key).
+  double CombinerSurvival() const {
+    return output_records == 0
+               ? 1.0
+               : static_cast<double>(distinct_keys) /
+                     static_cast<double>(output_records);
+  }
+};
+
+// --- wordcount ---------------------------------------------------------------
+
+// Tokenises `text` and counts words. `counts` may be null if only stats are
+// needed.
+MapStats WordCountMap(std::string_view text,
+                      std::map<std::string, std::int64_t>* counts);
+
+// --- logcount ----------------------------------------------------------------
+
+// Extracts "<date> <LEVEL>" keys from Hadoop log lines and counts them
+// (the example the paper cites: <'2016-02-01 INFO', 1>).
+MapStats LogCountMap(std::string_view log_text,
+                     std::map<std::string, std::int64_t>* counts);
+
+// --- terasort ----------------------------------------------------------------
+
+// Sorts concatenated 100-byte records by their 10-byte key, in place over a
+// copy; returns the sorted buffer.
+std::string TeraSortRecords(std::string_view records);
+
+// Validates global order; returns false on any inversion (teravalidate).
+bool TeraValidate(std::string_view sorted_records);
+
+// --- pi ----------------------------------------------------------------------
+
+struct PiResult {
+  std::int64_t samples = 0;
+  std::int64_t inside = 0;
+  double estimate = 0;
+};
+
+// Monte-carlo pi over `samples` darts (the Hadoop pi example's kernel).
+PiResult EstimatePi(std::int64_t samples, Rng& rng);
+
+}  // namespace wimpy::mapreduce
+
+#endif  // WIMPY_MAPREDUCE_COMPUTE_H_

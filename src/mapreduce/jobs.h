@@ -1,0 +1,56 @@
+// The paper's six MapReduce jobs, with per-cluster tuning (§5.2.1-5.2.4).
+//
+// Cost constants (Minstr per MB etc.) are calibrated against the paper's
+// measured runtimes and energies in Table 8; per-platform CPU efficiency
+// captures the measured JVM/data-path IPC gap between the in-order Atom
+// and the Xeon relative to their Dhrystone scores (see DESIGN.md,
+// substitution table).
+#ifndef WIMPY_MAPREDUCE_JOBS_H_
+#define WIMPY_MAPREDUCE_JOBS_H_
+
+#include <cstdint>
+
+#include "mapreduce/job.h"
+#include "mapreduce/testbed.h"
+
+namespace wimpy::mapreduce {
+
+// Paper inputs: wordcount/logcount corpora are 1 GB; terasort is scaled
+// down to 10 GB; pi throws 10 billion darts.
+inline constexpr Bytes kTextInputBytes = GB(1);
+inline constexpr int kWordCountFiles = 200;
+inline constexpr int kLogCountFiles = 500;
+inline constexpr Bytes kTeraInputBytes = GB(10);
+inline constexpr std::int64_t kPiSamples = 10'000'000'000LL;
+
+// Helper: total vcores of a cluster config (reducer counts and combined
+// split sizing are tuned to "one container per vcore", as the paper does).
+int TotalVcores(const MrClusterConfig& config);
+
+// wordcount: 200 small files, no combiner, one container per file.
+JobSpec WordCountJob(const MrClusterConfig& config);
+// wordcount2: CombineFileInputFormat + combiner, one split per vcore.
+JobSpec WordCount2Job(const MrClusterConfig& config);
+// logcount: 500 small log files, combiner only.
+JobSpec LogCountJob(const MrClusterConfig& config);
+// logcount2: combined inputs + combiner.
+JobSpec LogCount2Job(const MrClusterConfig& config);
+// pi: compute-only, one map per vcore, one reducer.
+JobSpec PiJob(const MrClusterConfig& config,
+              std::int64_t samples = kPiSamples);
+// terasort (sort stage only, as the paper compares): identity map,
+// full-data shuffle, replicated output. Use TeraSortClusterConfig so both
+// platforms run 64 MB blocks.
+JobSpec TeraSortJob(const MrClusterConfig& config);
+
+// Returns `config` adjusted for the terasort experiment (64 MB block size
+// on both clusters, per §5.2.4).
+MrClusterConfig TeraSortClusterConfig(MrClusterConfig config);
+
+// Loads the right input for `spec` into the testbed (file count and bytes
+// must match what the Job factory assumed).
+void LoadInputFor(const JobSpec& spec, MrTestbed* testbed);
+
+}  // namespace wimpy::mapreduce
+
+#endif  // WIMPY_MAPREDUCE_JOBS_H_

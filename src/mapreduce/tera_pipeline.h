@@ -1,0 +1,39 @@
+// The full three-stage Tera pipeline of §5.2.4: Teragen (map-only
+// generation writing to HDFS), Terasort (the stage the paper times), and
+// Teravalidate (order check, mapper per sorted partition, one reducer).
+//
+// The paper reports only the sort stage's time/energy; the pipeline here
+// reproduces the surrounding stages so the experiment is runnable end to
+// end, including the generation I/O that constrains block size choices.
+#ifndef WIMPY_MAPREDUCE_TERA_PIPELINE_H_
+#define WIMPY_MAPREDUCE_TERA_PIPELINE_H_
+
+#include "mapreduce/jobs.h"
+#include "mapreduce/testbed.h"
+
+namespace wimpy::mapreduce {
+
+// Teragen: `input_files` map tasks, each generating one 64 MiB block of
+// 100-byte records and writing it to HDFS (replicated per the cluster
+// config). No shuffle, no reducers.
+JobSpec TeraGenJob(const MrClusterConfig& config);
+
+// Teravalidate: one map per sorted partition (the paper: "the mapper
+// number is equal to the reducer number of the Terasort"), checking order
+// locally; a single reducer verifies global boundaries.
+JobSpec TeraValidateJob(const MrClusterConfig& config);
+
+struct TeraPipelineResult {
+  MrRunResult teragen;
+  MrRunResult terasort;
+  MrRunResult teravalidate;
+};
+
+// Runs all three stages on one testbed (gen output feeds sort, sort
+// output feeds validate). The testbed must be built with
+// TeraSortClusterConfig(...) so both platforms use 64 MiB blocks.
+TeraPipelineResult RunTeraPipeline(MrTestbed* testbed);
+
+}  // namespace wimpy::mapreduce
+
+#endif  // WIMPY_MAPREDUCE_TERA_PIPELINE_H_

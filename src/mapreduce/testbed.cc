@@ -1,0 +1,116 @@
+#include "mapreduce/testbed.h"
+
+#include "hw/profiles.h"
+#include "sim/process.h"
+
+namespace wimpy::mapreduce {
+
+MrClusterConfig EdisonMrCluster(int slaves) {
+  MrClusterConfig cfg;
+  cfg.slave_profile = hw::EdisonProfile();
+  cfg.slave_count = slaves;
+  cfg.slave_group = "edison-room";
+  cfg.hdfs.block_size = MiB(16);
+  cfg.hdfs.replication = slaves >= 2 ? 2 : 1;
+  cfg.yarn.node_usable_memory = MB(600);
+  cfg.yarn.node_vcores = 2;
+  cfg.yarn.am_memory = MB(100);
+  cfg.slave_baseline_memory = MB(360);
+  return cfg;
+}
+
+MrClusterConfig DellMrCluster(int slaves) {
+  MrClusterConfig cfg;
+  cfg.slave_profile = hw::DellR620Profile();
+  cfg.slave_count = slaves;
+  cfg.slave_group = "dell-room";
+  cfg.hdfs.block_size = MiB(64);
+  cfg.hdfs.replication = 1;
+  cfg.yarn.node_usable_memory = GB(12);
+  cfg.yarn.node_vcores = 12;
+  cfg.yarn.am_memory = MB(500);
+  cfg.slave_baseline_memory = GB(4);
+  return cfg;
+}
+
+MrTestbed::MrTestbed(const MrClusterConfig& config)
+    : config_(config), fabric_(&sched_), cluster_(&sched_, &fabric_) {
+  // The hybrid deployment: a Dell master holds namenode + RM (excluded
+  // from energy accounting); the slaves run the data/compute planes.
+  cluster_.AddNodes(hw::DellR620Profile(), 1, "master", "dell-room");
+  if (config_.throttled_slaves > 0) {
+    // Heterogeneous fleet: the first K slaves run degraded CPUs.
+    hw::HardwareProfile slow = config_.slave_profile;
+    slow.name = config_.slave_profile.name + "-throttled";
+    slow.cpu.dmips_per_thread *= config_.throttle_factor;
+    const int k = std::min(config_.throttled_slaves, config_.slave_count);
+    slaves_ = cluster_.AddNodes(slow, k, "mr-slave", config_.slave_group);
+    auto healthy = cluster_.AddNodes(config_.slave_profile,
+                                     config_.slave_count - k, "mr-slave",
+                                     config_.slave_group);
+    slaves_.insert(slaves_.end(), healthy.begin(), healthy.end());
+  } else {
+    slaves_ = cluster_.AddNodes(config_.slave_profile, config_.slave_count,
+                                "mr-slave", config_.slave_group);
+  }
+  if (config_.slave_group != "dell-room") {
+    fabric_.SetGroupLink(config_.slave_group, "dell-room", Gbps(1),
+                         Milliseconds(0.02));
+  }
+
+  // OS + datanode + nodemanager resident baselines, so memory telemetry
+  // starts where the paper's does (~37% on Edison).
+  for (auto* node : slaves_) {
+    node->memory().TryReserve(config_.slave_baseline_memory);
+  }
+
+  Rng seeder(config_.seed);
+  hdfs_ = std::make_unique<Hdfs>(&fabric_, slaves_, config_.hdfs,
+                                 seeder.Next());
+  yarn_ = std::make_unique<Yarn>(slaves_, config_.yarn);
+  job_seed_ = seeder.Next();
+}
+
+void MrTestbed::LoadInput(const std::string& prefix, int files,
+                          Bytes total_bytes) {
+  hdfs_->LoadFiles(prefix, files, total_bytes);
+}
+
+MrRunResult MrTestbed::RunJob(const JobSpec& spec) {
+  MapReduceJob job(&fabric_, hdfs_.get(), yarn_.get(), spec, config_.costs,
+                   config_.slave_profile.name, job_seed_++);
+
+  cluster::MetricsSampler sampler(&cluster_, {"mr-slave"}, Seconds(1));
+  sampler.SetProgressProbe([&job] {
+    return std::make_pair(job.MapProgressPct(), job.ReduceProgressPct());
+  });
+
+  const Joules joules_before = cluster_.CumulativeJoules({"mr-slave"});
+  sampler.Start();
+  sim::ProcessRef ref = job.Start();
+
+  // Stop telemetry the moment the job driver finishes so the event queue
+  // can drain.
+  auto watcher = [](sim::ProcessRef target,
+                    cluster::MetricsSampler* s) -> sim::Process {
+    co_await target.Join();
+    s->Stop();
+  };
+  sim::Spawn(sched_, watcher(ref, &sampler));
+  sched_.Run();
+
+  MrRunResult result;
+  result.job = job.result();
+  result.slave_joules =
+      cluster_.CumulativeJoules({"mr-slave"}) - joules_before;
+  result.mean_slave_power =
+      result.job.elapsed > 0 ? result.slave_joules / result.job.elapsed : 0;
+  result.timeline = sampler.samples();
+  if (spec.input_bytes > 0 && result.slave_joules > 0) {
+    result.work_done_per_joule =
+        static_cast<double>(spec.input_bytes) / 1e6 / result.slave_joules;
+  }
+  return result;
+}
+
+}  // namespace wimpy::mapreduce

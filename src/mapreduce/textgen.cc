@@ -1,0 +1,125 @@
+#include "mapreduce/textgen.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace wimpy::mapreduce {
+
+namespace {
+
+// Deterministic pseudo-English word for a vocabulary index.
+std::string WordForIndex(int index) {
+  static const char* kSyllables[] = {"da", "ta", "cen", "ter", "mi", "cro",
+                                     "ser", "ver", "e", "di", "son", "pow",
+                                     "er", "jou", "le", "work"};
+  constexpr int kNum = 16;
+  std::string word;
+  int x = index + 1;
+  while (x > 0) {
+    word += kSyllables[x % kNum];
+    x /= kNum;
+  }
+  return word;
+}
+
+// Samples a Zipf(1.0)-distributed rank in [0, n) via rejection-free
+// inverse-CDF over precomputed harmonic weights (built once per call site
+// size; vocabulary sizes are small).
+class ZipfSampler {
+ public:
+  explicit ZipfSampler(int n) : cdf_(n) {
+    double h = 0;
+    for (int i = 0; i < n; ++i) {
+      h += 1.0 / static_cast<double>(i + 1);
+      cdf_[i] = h;
+    }
+    for (auto& c : cdf_) c /= h;
+  }
+
+  int Sample(Rng& rng) const {
+    const double u = rng.NextDouble();
+    // Binary search the CDF.
+    int lo = 0, hi = static_cast<int>(cdf_.size()) - 1;
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+std::string GenerateTextCorpus(Bytes bytes, int vocabulary, Rng& rng) {
+  ZipfSampler zipf(vocabulary);
+  std::string out;
+  out.reserve(static_cast<std::size_t>(bytes) + 16);
+  int words_on_line = 0;
+  while (static_cast<Bytes>(out.size()) < bytes) {
+    out += WordForIndex(zipf.Sample(rng));
+    if (++words_on_line >= 12) {
+      out += '\n';
+      words_on_line = 0;
+    } else {
+      out += ' ';
+    }
+  }
+  return out;
+}
+
+std::string GenerateLogFile(Bytes bytes, int days, Rng& rng) {
+  static const char* kLevels[] = {"INFO", "DEBUG", "WARN", "ERROR"};
+  const std::vector<double> level_weights = {0.80, 0.12, 0.06, 0.02};
+  static const char* kComponents[] = {
+      "org.apache.hadoop.yarn.server.nodemanager.NodeManager",
+      "org.apache.hadoop.hdfs.server.datanode.DataNode",
+      "org.apache.hadoop.mapreduce.v2.app.MRAppMaster",
+      "org.apache.hadoop.yarn.server.resourcemanager.ResourceManager"};
+  std::string out;
+  out.reserve(static_cast<std::size_t>(bytes) + 160);
+  char line[256];
+  while (static_cast<Bytes>(out.size()) < bytes) {
+    const int day = static_cast<int>(rng.NextBelow(days)) + 1;
+    const int hour = static_cast<int>(rng.NextBelow(24));
+    const int minute = static_cast<int>(rng.NextBelow(60));
+    const int second = static_cast<int>(rng.NextBelow(60));
+    const char* level = kLevels[rng.WeightedIndex(level_weights)];
+    const char* component = kComponents[rng.NextBelow(4)];
+    std::snprintf(line, sizeof(line),
+                  "2016-02-%02d %02d:%02d:%02d,%03d %s %s: container "
+                  "update event processed for attempt %llu\n",
+                  day, hour, minute, second,
+                  static_cast<int>(rng.NextBelow(1000)), level, component,
+                  static_cast<unsigned long long>(rng.NextBelow(100000)));
+    out += line;
+  }
+  return out;
+}
+
+std::string GenerateTeraRecords(std::int64_t count, Rng& rng) {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(count * kTeraRecordBytes));
+  for (std::int64_t i = 0; i < count; ++i) {
+    // 10-byte printable key.
+    for (int k = 0; k < 10; ++k) {
+      out += static_cast<char>(' ' + rng.NextBelow(95));
+    }
+    // 90-byte payload: record number + filler, as teragen does.
+    char payload[91];
+    std::snprintf(payload, sizeof(payload), "%022lld",
+                  static_cast<long long>(i));
+    std::string pay(payload);
+    pay.resize(90, 'F');
+    out += pay;
+  }
+  return out;
+}
+
+}  // namespace wimpy::mapreduce

@@ -1,0 +1,38 @@
+// Synthetic input generators for the MapReduce workloads.
+//
+// The paper's inputs — 1 GB of text across 200 files for wordcount, 500
+// Hadoop/Yarn log files for logcount, 10 GB of teragen records — are not
+// redistributable, so we generate statistically equivalent data: Zipf-
+// distributed English-like words, Hadoop-format log lines, and 100-byte
+// teragen records. The *real* map/reduce computations in compute.h run over
+// this data; the simulator consumes the measured record/byte statistics.
+#ifndef WIMPY_MAPREDUCE_TEXTGEN_H_
+#define WIMPY_MAPREDUCE_TEXTGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+
+namespace wimpy::mapreduce {
+
+// Generates ~`bytes` of space/newline separated words drawn from a Zipf
+// distribution over `vocabulary` distinct words.
+std::string GenerateTextCorpus(Bytes bytes, int vocabulary, Rng& rng);
+
+// Generates ~`bytes` of Hadoop-style log lines:
+//   "2016-02-01 13:45:07,123 INFO org.apache...: message words"
+// Dates span `days` days; levels are INFO/DEBUG/WARN/ERROR with realistic
+// skew.
+std::string GenerateLogFile(Bytes bytes, int days, Rng& rng);
+
+// One teragen record: 10-byte key + 90-byte payload (100 bytes total).
+inline constexpr Bytes kTeraRecordBytes = 100;
+
+// Generates `count` teragen records (concatenated 100-byte records).
+std::string GenerateTeraRecords(std::int64_t count, Rng& rng);
+
+}  // namespace wimpy::mapreduce
+
+#endif  // WIMPY_MAPREDUCE_TEXTGEN_H_

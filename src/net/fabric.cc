@@ -1,0 +1,134 @@
+#include "net/fabric.h"
+
+#include <cassert>
+
+namespace wimpy::net {
+
+namespace {
+
+// Loopback cost: in-kernel copy, effectively instant at this fidelity.
+constexpr Duration kLoopbackLatency = Microseconds(20);
+
+sim::Process ServeOne(sim::FairShareServer* server, double demand) {
+  co_await server->Serve(demand);
+}
+
+}  // namespace
+
+Fabric::Fabric(sim::Scheduler* sched) : sched_(sched) {
+  assert(sched != nullptr);
+}
+
+void Fabric::AddNode(hw::ServerNode* node, const std::string& group) {
+  assert(node != nullptr);
+  const bool inserted =
+      endpoints_.emplace(node->id(), Endpoint{node, group}).second;
+  assert(inserted && "duplicate node id in fabric");
+  (void)inserted;
+}
+
+Fabric::GroupKey Fabric::MakeKey(const std::string& a,
+                                 const std::string& b) {
+  return a <= b ? GroupKey{a, b} : GroupKey{b, a};
+}
+
+void Fabric::SetGroupLink(const std::string& a, const std::string& b,
+                          BytesPerSecond bandwidth, Duration latency) {
+  assert(bandwidth > 0);
+  GroupLink link;
+  link.forward = std::make_unique<sim::FairShareServer>(
+      sched_, bandwidth, bandwidth, "link:" + a + ">" + b);
+  link.backward = std::make_unique<sim::FairShareServer>(
+      sched_, bandwidth, bandwidth, "link:" + b + ">" + a);
+  link.latency = latency;
+  links_[MakeKey(a, b)] = std::move(link);
+}
+
+bool Fabric::HasNode(int node_id) const {
+  return endpoints_.count(node_id) > 0;
+}
+
+const Fabric::Endpoint& Fabric::Lookup(int node_id) const {
+  auto it = endpoints_.find(node_id);
+  assert(it != endpoints_.end() && "node not registered in fabric");
+  return it->second;
+}
+
+const std::string& Fabric::GroupOf(int node_id) const {
+  return Lookup(node_id).group;
+}
+
+const Fabric::GroupLink* Fabric::FindLink(const std::string& a,
+                                          const std::string& b) const {
+  auto it = links_.find(MakeKey(a, b));
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+sim::FairShareServer* Fabric::LinkChannel(
+    const std::string& src_group, const std::string& dst_group) const {
+  const GroupLink* link = FindLink(src_group, dst_group);
+  if (link == nullptr) return nullptr;
+  // forward serves the lexicographically-ordered direction.
+  const bool is_forward = MakeKey(src_group, dst_group).first == src_group;
+  return is_forward ? link->forward.get() : link->backward.get();
+}
+
+Duration Fabric::Latency(int src_id, int dst_id) const {
+  if (src_id == dst_id) return kLoopbackLatency;
+  const Endpoint& src = Lookup(src_id);
+  const Endpoint& dst = Lookup(dst_id);
+  Duration latency = src.node->nic().endpoint_latency() +
+                     dst.node->nic().endpoint_latency();
+  if (src.group != dst.group) {
+    const GroupLink* link = FindLink(src.group, dst.group);
+    if (link != nullptr) latency += link->latency;
+  }
+  return latency;
+}
+
+sim::Task<void> Fabric::Transfer(int src_id, int dst_id, Bytes bytes) {
+  if (bytes <= 0) co_return;
+  if (src_id == dst_id) {
+    co_await sim::Delay(*sched_, kLoopbackLatency);
+    co_return;
+  }
+  const Endpoint& src = Lookup(src_id);
+  const Endpoint& dst = Lookup(dst_id);
+  src.node->nic().AddBytesSent(bytes);
+  dst.node->nic().AddBytesReceived(bytes);
+
+  co_await sim::Delay(*sched_, Latency(src_id, dst_id));
+
+  std::vector<sim::FairShareServer*> segments;
+  segments.push_back(&src.node->nic().tx());
+  if (src.group != dst.group) {
+    sim::FairShareServer* link = LinkChannel(src.group, dst.group);
+    if (link != nullptr) segments.push_back(link);
+  }
+  segments.push_back(&dst.node->nic().rx());
+
+  // The flow occupies every segment concurrently; it completes when the
+  // slowest segment has pumped all bytes. This approximates min-rate
+  // fair-shared flows without per-chunk simulation.
+  const double demand = static_cast<double>(bytes);
+  std::vector<sim::ProcessRef> refs;
+  refs.reserve(segments.size());
+  for (auto* segment : segments) {
+    refs.push_back(sim::Spawn(*sched_, ServeOne(segment, demand)));
+  }
+  for (auto& ref : refs) co_await ref.Join();
+}
+
+sim::Task<void> Fabric::RoundTrip(int src_id, int dst_id) {
+  co_await sim::Delay(*sched_, Rtt(src_id, dst_id));
+}
+
+double Fabric::GroupLinkBusyFraction(const std::string& a,
+                                     const std::string& b) const {
+  const GroupLink* link = FindLink(a, b);
+  if (link == nullptr) return 0.0;
+  return std::max(link->forward->busy_fraction(),
+                  link->backward->busy_fraction());
+}
+
+}  // namespace wimpy::net

@@ -1,0 +1,97 @@
+// Network fabric: endpoint NICs plus aggregate inter-group links.
+//
+// Topology model (paper §3, §4.4, §5.1.2): every node's NIC is a pair of
+// fair-share channels (hw::NicModel); nodes are placed in *groups* (a rack
+// or machine room with a non-blocking top-of-rack switch); traffic between
+// groups additionally traverses a shared aggregate link of configured
+// bandwidth — e.g. the single 1 Gbps uplink between the client room and the
+// Edison room that caps aggregate web throughput in the paper's fairness
+// discussion.
+//
+// A transfer completes when its last byte clears the slowest path segment;
+// each segment is an independent fair-share server, which reproduces
+// per-flow bandwidth sharing and aggregate bottleneck saturation.
+#ifndef WIMPY_NET_FABRIC_H_
+#define WIMPY_NET_FABRIC_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "hw/server_node.h"
+#include "sim/fair_share.h"
+#include "sim/process.h"
+#include "sim/task.h"
+
+namespace wimpy::net {
+
+class Fabric {
+ public:
+  explicit Fabric(sim::Scheduler* sched);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // Registers a node in a group. Node ids must be unique across the fabric.
+  void AddNode(hw::ServerNode* node, const std::string& group);
+
+  // Configures the shared aggregate link between two groups (both
+  // directions share one set of duplex channels, like a switch uplink).
+  // Calling again replaces the previous configuration.
+  void SetGroupLink(const std::string& a, const std::string& b,
+                    BytesPerSecond bandwidth, Duration latency);
+
+  bool HasNode(int node_id) const;
+  const std::string& GroupOf(int node_id) const;
+
+  // One-way propagation latency between two nodes: both endpoint latencies
+  // plus the group link's latency when crossing groups. Loopback is ~free.
+  Duration Latency(int src_id, int dst_id) const;
+  Duration Rtt(int src_id, int dst_id) const {
+    return 2.0 * Latency(src_id, dst_id);
+  }
+
+  // Moves `bytes` from src to dst; completes when the last byte arrives.
+  // Loopback transfers only pay a negligible fixed cost.
+  sim::Task<void> Transfer(int src_id, int dst_id, Bytes bytes);
+
+  // Small control message pair (SYN/ACK, ping): pays RTT, no bandwidth.
+  sim::Task<void> RoundTrip(int src_id, int dst_id);
+
+  // Instantaneous utilisation of the group link (0 if none configured).
+  double GroupLinkBusyFraction(const std::string& a,
+                               const std::string& b) const;
+
+  sim::Scheduler& scheduler() { return *sched_; }
+
+ private:
+  struct Endpoint {
+    hw::ServerNode* node;
+    std::string group;
+  };
+  struct GroupLink {
+    std::unique_ptr<sim::FairShareServer> forward;   // a->b
+    std::unique_ptr<sim::FairShareServer> backward;  // b->a
+    Duration latency;
+  };
+  using GroupKey = std::pair<std::string, std::string>;
+
+  static GroupKey MakeKey(const std::string& a, const std::string& b);
+  const Endpoint& Lookup(int node_id) const;
+  // Returns the directed link channel for src_group -> dst_group, or
+  // nullptr when unconstrained.
+  sim::FairShareServer* LinkChannel(const std::string& src_group,
+                                    const std::string& dst_group) const;
+  const GroupLink* FindLink(const std::string& a,
+                            const std::string& b) const;
+
+  sim::Scheduler* sched_;
+  std::map<int, Endpoint> endpoints_;
+  std::map<GroupKey, GroupLink> links_;
+};
+
+}  // namespace wimpy::net
+
+#endif  // WIMPY_NET_FABRIC_H_

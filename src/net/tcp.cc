@@ -1,0 +1,123 @@
+#include "net/tcp.h"
+
+namespace wimpy::net {
+
+TcpHost::TcpHost(Fabric* fabric, int node_id, const TcpConfig& config)
+    : fabric_(fabric), node_id_(node_id), config_(config) {}
+
+bool TcpHost::TryEnterBacklog() {
+  if (backlog_depth_ >= config_.listen_backlog) return false;
+  ++backlog_depth_;
+  return true;
+}
+
+void TcpHost::LeaveBacklog() {
+  if (backlog_depth_ > 0) --backlog_depth_;
+}
+
+bool TcpHost::TryOpenConnectionSlot() {
+  if (connections_open_ >= config_.max_connections) return false;
+  ++connections_open_;
+  return true;
+}
+
+void TcpHost::CloseConnectionSlot() {
+  if (config_.time_wait > 0) {
+    // The slot stays occupied through TIME_WAIT.
+    fabric_->scheduler().ScheduleAfter(config_.time_wait, [this] {
+      if (connections_open_ > 0) --connections_open_;
+    });
+    return;
+  }
+  if (connections_open_ > 0) --connections_open_;
+}
+
+bool TcpHost::TryAllocatePort() {
+  if (ports_in_use_ >= config_.ephemeral_ports) return false;
+  ++ports_in_use_;
+  return true;
+}
+
+void TcpHost::ReleasePort() {
+  if (ports_in_use_ > 0) --ports_in_use_;
+}
+
+TcpConnection::TcpConnection(TcpHost* client, TcpHost* server)
+    : client_(client), server_(server) {}
+
+TcpConnection::~TcpConnection() { Close(); }
+
+sim::Task<ConnectResult> TcpConnection::Connect(bool hold_backlog) {
+  ConnectResult result;
+  sim::Scheduler& sched = client_->fabric().scheduler();
+  const SimTime started = sched.now();
+
+  if (!client_->TryAllocatePort()) {
+    result.status = Status::ResourceExhausted("client ephemeral ports");
+    co_return result;
+  }
+  port_held_ = true;
+
+  Duration backoff = client_->config().syn_retry_base;
+  for (int attempt = 0;; ++attempt) {
+    // SYN travels to the server; if the backlog has room the handshake
+    // completes after one RTT.
+    if (server_->TryEnterBacklog()) {
+      co_await client_->fabric().RoundTrip(client_->node_id(),
+                                           server_->node_id());
+      if (!server_->TryOpenConnectionSlot()) {
+        // Accepted at SYN level but no descriptors left: connection reset.
+        server_->LeaveBacklog();
+        result.status =
+            Status::ResourceExhausted("server connection slots");
+        result.connect_delay = sched.now() - started;
+        co_return result;
+      }
+      if (!hold_backlog) server_->LeaveBacklog();
+      established_ = true;
+      result.status = Status::Ok();
+      result.connect_delay = sched.now() - started;
+      result.retries = attempt;
+      co_return result;
+    }
+
+    // SYN dropped silently; the client retransmits after the backoff.
+    server_->CountSynDrop();
+    if (attempt >= client_->config().syn_max_retries) {
+      result.status = Status::Unavailable("connection timed out");
+      result.connect_delay = sched.now() - started;
+      result.retries = attempt;
+      co_return result;
+    }
+    co_await sim::Delay(sched, backoff);
+    backoff *= 2.0;
+    result.retries = attempt + 1;
+  }
+}
+
+sim::Task<void> TcpConnection::Exchange(Bytes request_bytes,
+                                        Bytes response_bytes) {
+  co_await client_->fabric().Transfer(client_->node_id(),
+                                      server_->node_id(), request_bytes);
+  co_await client_->fabric().Transfer(server_->node_id(),
+                                      client_->node_id(), response_bytes);
+}
+
+sim::Task<void> TcpConnection::Send(Bytes bytes) {
+  co_await client_->fabric().Transfer(client_->node_id(),
+                                      server_->node_id(), bytes);
+}
+
+void TcpConnection::Close() {
+  if (established_) {
+    server_->CloseConnectionSlot();
+    established_ = false;
+  }
+  if (port_held_) {
+    // tcp_tw_reuse is on (paper tuning): the port returns immediately.
+    client_->ReleasePort();
+    port_held_ = false;
+  }
+}
+
+}  // namespace wimpy::net

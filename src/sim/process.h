@@ -1,0 +1,176 @@
+// Coroutine-based simulation processes.
+//
+// A simulation actor is written as a plain C++20 coroutine returning
+// `Process`:
+//
+//   sim::Process Worker(sim::Scheduler& sched, Server& server) {
+//     co_await sim::Delay(sched, 0.5);        // sleep virtual time
+//     co_await server.cpu().Serve(1e6);       // consume resources
+//   }
+//
+//   sim::ProcessRef ref = sim::Spawn(sched, Worker(sched, server));
+//   ...
+//   co_await ref.Join();                      // wait for completion
+//
+// Lifetime model: `Spawn` hands the coroutine frame to the scheduler. The
+// frame destroys itself when the coroutine finishes (at final suspend),
+// after marking a shared completion state and waking joiners. `ProcessRef`
+// only references that shared state, so it is safe to keep or drop at any
+// time. A `Process` that is never spawned destroys its frame in the
+// destructor.
+#ifndef WIMPY_SIM_PROCESS_H_
+#define WIMPY_SIM_PROCESS_H_
+
+#include <cassert>
+#include <coroutine>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace wimpy::sim {
+
+namespace internal_process {
+
+// Shared between the running coroutine and any ProcessRef handles.
+struct ProcessState {
+  Scheduler* sched = nullptr;
+  bool spawned = false;
+  bool done = false;
+  std::vector<std::coroutine_handle<>> joiners;
+};
+
+}  // namespace internal_process
+
+// Join handle for a spawned process. Copyable and cheap.
+class ProcessRef {
+ public:
+  ProcessRef() = default;
+  explicit ProcessRef(std::shared_ptr<internal_process::ProcessState> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+  bool done() const { return state_ == nullptr || state_->done; }
+
+  // Awaitable that completes when the process finishes. Safe to await after
+  // completion (resumes immediately) and from multiple joiners.
+  auto Join() const {
+    struct Awaiter {
+      std::shared_ptr<internal_process::ProcessState> state;
+      bool await_ready() const noexcept {
+        return state == nullptr || state->done;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        state->joiners.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{state_};
+  }
+
+ private:
+  std::shared_ptr<internal_process::ProcessState> state_;
+};
+
+// Coroutine return type for simulation processes.
+class Process {
+ public:
+  struct promise_type {
+    std::shared_ptr<internal_process::ProcessState> state =
+        std::make_shared<internal_process::ProcessState>();
+
+    Process get_return_object() {
+      return Process(
+          std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        auto state = h.promise().state;  // keep alive past destroy()
+        state->done = true;
+        Scheduler* sched = state->sched;
+        for (auto joiner : state->joiners) sched->ResumeLater(joiner);
+        state->joiners.clear();
+        h.destroy();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() { std::abort(); }
+  };
+
+  Process(Process&& other) noexcept : handle_(other.handle_) {
+    other.handle_ = nullptr;
+  }
+  Process& operator=(Process&& other) noexcept {
+    if (this != &other) {
+      DestroyIfUnspawned();
+      handle_ = other.handle_;
+      other.handle_ = nullptr;
+    }
+    return *this;
+  }
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  ~Process() { DestroyIfUnspawned(); }
+
+ private:
+  friend ProcessRef Spawn(Scheduler& sched, Process process);
+
+  explicit Process(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+
+  void DestroyIfUnspawned() {
+    if (handle_ != nullptr) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_ = nullptr;
+};
+
+// Starts a process at the scheduler's current time. The coroutine begins
+// executing when the scheduler reaches the spawn event, not inside Spawn().
+inline ProcessRef Spawn(Scheduler& sched, Process process) {
+  assert(process.handle_ != nullptr && "process already spawned or moved");
+  auto handle = process.handle_;
+  process.handle_ = nullptr;  // scheduler/frame owns itself from here
+  auto state = handle.promise().state;
+  assert(!state->spawned);
+  state->sched = &sched;
+  state->spawned = true;
+  sched.ScheduleAt(sched.now(), [handle] { handle.resume(); });
+  return ProcessRef(state);
+}
+
+// Awaitable virtual-time sleep. A zero (or negative) delay still yields
+// through the event queue, which is the idiomatic way to defer to other
+// same-time events.
+inline auto Delay(Scheduler& sched, Duration delay) {
+  struct Awaiter {
+    Scheduler* sched;
+    Duration delay;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sched->ScheduleAfter(delay, [h] { h.resume(); });
+    }
+    void await_resume() const noexcept {}
+  };
+  return Awaiter{&sched, delay};
+}
+
+// Awaits all processes in the list.
+inline Process JoinAll(std::vector<ProcessRef> refs) {
+  for (auto& ref : refs) co_await ref.Join();
+}
+
+}  // namespace wimpy::sim
+
+#endif  // WIMPY_SIM_PROCESS_H_

@@ -1,0 +1,74 @@
+#include "sim/scheduler.h"
+
+#include <cassert>
+#include <utility>
+
+namespace wimpy::sim {
+
+EventId Scheduler::ScheduleAt(SimTime t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(fn)});
+  ++live_events_;
+  return id;
+}
+
+EventId Scheduler::ScheduleAfter(Duration delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool Scheduler::Cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // Tombstone; the heap entry is skipped when popped.
+  const bool inserted = cancelled_.insert(id).second;
+  if (inserted) {
+    assert(live_events_ > 0);
+    --live_events_;
+  }
+  return inserted;
+}
+
+void Scheduler::ResumeLater(std::coroutine_handle<> handle) {
+  ScheduleAt(now_, [handle] { handle.resume(); });
+}
+
+bool Scheduler::Step() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;  // tombstoned; live_events_ already decremented
+    }
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    --live_events_;
+    ++executed_events_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::Run(SimTime until, std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && !queue_.empty()) {
+    // Peek for the time limit, skipping tombstones.
+    while (!queue_.empty() &&
+           cancelled_.count(queue_.top().id) > 0) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+    }
+    if (queue_.empty()) break;
+    if (queue_.top().time > until) {
+      if (until > now_) now_ = until;
+      break;
+    }
+    if (Step()) ++executed;
+  }
+  return executed;
+}
+
+}  // namespace wimpy::sim

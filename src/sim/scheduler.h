@@ -1,0 +1,91 @@
+// Discrete-event simulation core.
+//
+// A `Scheduler` owns the virtual clock and a time-ordered event queue.
+// Events scheduled for the same instant execute in scheduling order
+// (FIFO by sequence number), which makes every simulation in this library
+// fully deterministic for a given seed.
+//
+// Higher layers rarely post raw callbacks; they write C++20 coroutine
+// processes (see process.h) whose suspensions are implemented on top of
+// this queue.
+#ifndef WIMPY_SIM_SCHEDULER_H_
+#define WIMPY_SIM_SCHEDULER_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.h"
+
+namespace wimpy::sim {
+
+// Identifies a scheduled event for cancellation.
+using EventId = std::uint64_t;
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Current simulated time in seconds.
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` at absolute time `t` (clamped to now if in the past).
+  EventId ScheduleAt(SimTime t, std::function<void()> fn);
+
+  // Schedules `fn` after `delay` seconds (negative treated as 0).
+  EventId ScheduleAfter(Duration delay, std::function<void()> fn);
+
+  // Cancels a pending event. Returns false if it already ran or was
+  // cancelled before.
+  bool Cancel(EventId id);
+
+  // Schedules a coroutine resumption at the current time. All coroutine
+  // wake-ups go through the queue so resumption order is deterministic and
+  // the native stack stays shallow.
+  void ResumeLater(std::coroutine_handle<> handle);
+
+  // Drains the queue until it is empty, `until` is passed, or `max_events`
+  // have run. The clock never advances beyond `until`. Returns the number
+  // of events executed.
+  std::size_t Run(SimTime until = std::numeric_limits<SimTime>::infinity(),
+                  std::size_t max_events =
+                      std::numeric_limits<std::size_t>::max());
+
+  // Executes exactly one event if available. Returns false on empty queue.
+  bool Step();
+
+  bool empty() const { return live_events_ == 0; }
+  std::size_t pending_events() const { return live_events_; }
+  std::size_t executed_events() const { return executed_events_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // min-heap: earlier id first at equal times
+    }
+  };
+
+  SimTime now_ = 0.0;
+  EventId next_id_ = 1;
+  std::size_t live_events_ = 0;
+  std::size_t executed_events_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace wimpy::sim
+
+#endif  // WIMPY_SIM_SCHEDULER_H_

@@ -1,0 +1,49 @@
+#include "web/backend.h"
+
+namespace wimpy::web {
+
+namespace {
+// GET requests and query statements are small.
+constexpr Bytes kRequestHopBytes = 120;
+}  // namespace
+
+CacheServer::CacheServer(hw::ServerNode* node, net::Fabric* fabric,
+                         const BackendCosts& costs)
+    : node_(node), fabric_(fabric), costs_(costs) {}
+
+void CacheServer::WarmUp() {
+  if (warmed_) return;
+  warmed_ = true;
+  const Bytes footprint = static_cast<Bytes>(
+      costs_.cache_memory_fraction *
+      static_cast<double>(node_->memory().total()));
+  // Reservation is best-effort: a full node simply caches less.
+  node_->memory().TryReserve(footprint);
+}
+
+sim::Task<void> CacheServer::Get(int requester_node, Bytes reply_bytes) {
+  ++hits_served_;
+  co_await fabric_->Transfer(requester_node, node_->id(), kRequestHopBytes);
+  co_await node_->cpu().Execute(costs_.cache_lookup_minstr);
+  co_await node_->memory().Transfer(reply_bytes);
+  co_await fabric_->Transfer(node_->id(), requester_node, reply_bytes);
+}
+
+DatabaseServer::DatabaseServer(hw::ServerNode* node, net::Fabric* fabric,
+                               const BackendCosts& costs, std::uint64_t seed)
+    : node_(node), fabric_(fabric), costs_(costs), rng_(seed) {}
+
+sim::Task<void> DatabaseServer::Query(int requester_node,
+                                      Bytes reply_bytes) {
+  ++queries_served_;
+  co_await fabric_->Transfer(requester_node, node_->id(), kRequestHopBytes);
+  co_await node_->cpu().Execute(costs_.db_query_minstr);
+  if (rng_.Bernoulli(costs_.db_miss_storage_fraction)) {
+    co_await node_->storage().RandomRead(reply_bytes);
+  } else {
+    co_await node_->memory().Transfer(reply_bytes);
+  }
+  co_await fabric_->Transfer(node_->id(), requester_node, reply_bytes);
+}
+
+}  // namespace wimpy::web

@@ -1,0 +1,60 @@
+// The paper's database catalog (§5.1.1), modelled table by table.
+//
+// The MySQL pair holds 15 tables imported from Wikipedia dumps plus
+// crawled images: 11 tables with simple fields (INT, VARCHAR, VARBINARY)
+// and 4 with image blobs averaging ~30 KB. A request picks a table by
+// weight — the image-table weights control the image-query percentage —
+// then a row, and the reply size follows the table's row-size
+// distribution. `WorkloadMix` is the two-point abstraction used by the
+// benches; `TableCatalog` is the faithful per-table model and produces
+// the same four paper operating points when weighted accordingly.
+#ifndef WIMPY_WEB_CATALOG_H_
+#define WIMPY_WEB_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "web/workload.h"
+
+namespace wimpy::web {
+
+struct TableSpec {
+  std::string name;
+  bool has_image_blob = false;
+  std::int64_t rows = 0;
+  Bytes row_bytes_mean = 0;    // serialised reply payload per row
+  Bytes row_bytes_stddev = 0;
+  double weight = 1.0;         // selection probability weight
+};
+
+class TableCatalog {
+ public:
+  // The paper's 15-table layout: 11 simple tables with Wikipedia-like row
+  // sizes and 4 image tables (~30 KB blobs + metadata). `image_fraction`
+  // sets the weights so image tables are selected with that probability.
+  static TableCatalog PaperCatalog(double image_fraction);
+
+  explicit TableCatalog(std::vector<TableSpec> tables);
+
+  // Draws a request: weighted table pick, row pick, size draw.
+  RequestSpec Sample(double cache_hit_ratio, Rng& rng) const;
+
+  // Expected mean reply size under the current weights.
+  double MeanReplyBytes() const;
+
+  // Probability that a draw hits an image table.
+  double ImageProbability() const;
+
+  const std::vector<TableSpec>& tables() const { return tables_; }
+
+ private:
+  std::vector<TableSpec> tables_;
+  std::vector<double> weights_;
+  double total_weight_ = 0;
+};
+
+}  // namespace wimpy::web
+
+#endif  // WIMPY_WEB_CATALOG_H_

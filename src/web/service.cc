@@ -1,0 +1,461 @@
+#include "web/service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "cluster/cluster.h"
+#include "cluster/metrics.h"
+#include "hw/profiles.h"
+#include "sim/process.h"
+
+namespace wimpy::web {
+
+WebServerConfig EdisonWebConfig() {
+  WebServerConfig cfg;
+  cfg.php_workers = 8;
+  cfg.queue_factor = 16;
+  cfg.service_efficiency = 1.0;
+  cfg.tcp.max_connections = 8192;   // fd limit on the 1 GB node
+  cfg.tcp.listen_backlog = 256;
+  cfg.tcp.time_wait = Seconds(30);
+  return cfg;
+}
+
+WebServerConfig DellWebConfig() {
+  WebServerConfig cfg;
+  cfg.php_workers = 128;
+  cfg.queue_factor = 16;
+  // §4.1/§7: the Xeon's ~18x Dhrystone advantage collapses on branchy
+  // interpreted serving; 0.22 reproduces the measured 45% CPU at the
+  // shared ~7.2k rps peak.
+  cfg.service_efficiency = 0.22;
+  // Accept-loop work per connection: ~1 ms on the Xeon at this efficiency
+  // (kernel + lighttpd fd setup + FastCGI hand-off), so a single server's
+  // accept queue drains at ~1k conn/s — the knee behind the paper's Dell
+  // reconnect spikes at ~3k fresh connections/sec.
+  cfg.accept_minstr = 2.3;
+  cfg.tcp.max_connections = 16384;
+  cfg.tcp.listen_backlog = 1024;
+  cfg.tcp.time_wait = Seconds(30);
+  return cfg;
+}
+
+WebTestbedConfig EdisonWebTestbed(int web_servers, int cache_servers) {
+  WebTestbedConfig cfg;
+  cfg.middle_profile = hw::EdisonProfile();
+  cfg.web_servers = web_servers;
+  cfg.cache_servers = cache_servers;
+  cfg.middle_group = "edison-room";
+  cfg.web_config = EdisonWebConfig();
+  return cfg;
+}
+
+WebTestbedConfig DellWebTestbed(int web_servers, int cache_servers) {
+  WebTestbedConfig cfg;
+  cfg.middle_profile = hw::DellR620Profile();
+  cfg.web_servers = web_servers;
+  cfg.cache_servers = cache_servers;
+  cfg.middle_group = "dell-room";
+  cfg.web_config = DellWebConfig();
+  return cfg;
+}
+
+namespace {
+
+// A fully wired deployment, built fresh for every measurement run.
+struct Testbed {
+  explicit Testbed(const WebTestbedConfig& config, int client_count)
+      : fabric(&sched), clstr(&sched, &fabric), rng(config.seed) {
+    // Room-level topology (paper §5.1.2): clients reach the Edison room
+    // over a single 1 Gbps uplink but the Dell room at 2 Gbps aggregate;
+    // the Edison and Dell rooms interconnect at 1 Gbps.
+    fabric.SetGroupLink("client-room", "edison-room", Gbps(1),
+                        Milliseconds(0.05));
+    fabric.SetGroupLink("client-room", "dell-room", Gbps(2),
+                        Milliseconds(0.02));
+    fabric.SetGroupLink("edison-room", "dell-room", Gbps(1),
+                        Milliseconds(0.02));
+
+    auto cache_nodes = clstr.AddNodes(config.middle_profile,
+                                      config.cache_servers, "cache-server",
+                                      config.middle_group);
+    auto db_nodes = clstr.AddNodes(hw::DellR620Profile(), 2, "db",
+                                   "dell-room");
+    auto client_nodes = clstr.AddNodes(hw::DellR620Profile(), client_count,
+                                       "client", "client-room");
+    auto web_nodes = clstr.AddNodes(config.middle_profile,
+                                    config.web_servers, "web-server",
+                                    config.middle_group);
+
+    for (auto* node : cache_nodes) {
+      caches.push_back(std::make_unique<CacheServer>(
+          node, &fabric, config.backend_costs));
+      caches.back()->WarmUp();
+    }
+    for (auto* node : db_nodes) {
+      dbs.push_back(std::make_unique<DatabaseServer>(
+          node, &fabric, config.backend_costs, rng.Next()));
+    }
+
+    std::vector<CacheServer*> cache_ptrs;
+    for (auto& c : caches) cache_ptrs.push_back(c.get());
+    std::vector<DatabaseServer*> db_ptrs;
+    for (auto& d : dbs) db_ptrs.push_back(d.get());
+
+    for (auto* node : web_nodes) {
+      webs.push_back(std::make_unique<WebServer>(
+          node, &fabric, cache_ptrs, db_ptrs, config.web_config,
+          rng.Next()));
+    }
+
+    net::TcpConfig client_tcp;  // tuned clients: port reuse, no TIME_WAIT
+    for (auto* node : client_nodes) {
+      client_hosts.push_back(
+          std::make_unique<net::TcpHost>(&fabric, node->id(), client_tcp));
+    }
+  }
+
+  WebServer* NextWeb() {
+    // The balancer health-checks backends: failed servers are skipped.
+    for (std::size_t i = 0; i < webs.size(); ++i) {
+      WebServer* web = webs[next_web_ % webs.size()].get();
+      ++next_web_;
+      if (!web->failed()) return web;
+    }
+    return webs[next_web_ % webs.size()].get();  // all failed
+  }
+  net::TcpHost* NextClient() {
+    net::TcpHost* host =
+        client_hosts[next_client_ % client_hosts.size()].get();
+    ++next_client_;
+    return host;
+  }
+
+  sim::Scheduler sched;
+  net::Fabric fabric;
+  cluster::Cluster clstr;
+  Rng rng;
+  std::vector<std::unique_ptr<CacheServer>> caches;
+  std::vector<std::unique_ptr<DatabaseServer>> dbs;
+  std::vector<std::unique_ptr<WebServer>> webs;
+  std::vector<std::unique_ptr<net::TcpHost>> client_hosts;
+  std::size_t next_web_ = 0;
+  std::size_t next_client_ = 0;
+};
+
+// Shared counters for one measurement run; only events inside the
+// [warmup_end, measure_end) window are counted.
+struct RunWindow {
+  SimTime warmup_end = 0;
+  SimTime measure_end = 0;
+  std::int64_t ok = 0;
+  std::int64_t errors = 0;
+  std::int64_t attempts = 0;
+  OnlineStats response;      // client-perceived per-call delay
+  OnlineStats client_delay;  // open-loop: includes connect backoff
+
+  bool InWindow(SimTime t) const {
+    return t >= warmup_end && t < measure_end;
+  }
+};
+
+// Windows a measurement run records into; a sample lands in the window
+// containing its start time (failure runs use two half-windows).
+using Windows = std::vector<RunWindow*>;
+
+RunWindow* FindWindow(const Windows& windows, SimTime t) {
+  for (RunWindow* w : windows) {
+    if (w->InWindow(t)) return w;
+  }
+  return nullptr;
+}
+
+SimTime WindowsEnd(const Windows& windows) {
+  SimTime end = 0;
+  for (RunWindow* w : windows) end = std::max(end, w->measure_end);
+  return end;
+}
+
+// One httperf connection: connect, then `calls` sequential HTTP calls.
+sim::Process ClosedLoopConnection(Testbed& tb, Windows windows,
+                                  const WorkloadMix& mix, WebServer* web,
+                                  net::TcpHost* client, int calls,
+                                  Rng rng) {
+  const SimTime end = WindowsEnd(windows);
+  const SimTime conn_start = tb.sched.now();
+  net::TcpConnection conn(client, &web->tcp_host());
+  const net::ConnectResult cres = co_await conn.Connect(/*hold_backlog=*/true);
+  if (!cres.status.ok()) {
+    if (RunWindow* w = FindWindow(windows, conn_start)) {
+      ++w->attempts;
+      ++w->errors;
+    }
+    co_return;
+  }
+  // The accept loop must run (and release the backlog slot) even if the
+  // server dies in between; the dead-server check follows it.
+  co_await web->AcceptWork();
+  if (web->failed()) {
+    if (RunWindow* w = FindWindow(windows, conn_start)) {
+      ++w->attempts;
+      ++w->errors;
+    }
+    conn.Close();
+    co_return;
+  }
+  for (int i = 0; i < calls; ++i) {
+    const SimTime call_start = tb.sched.now();
+    if (call_start >= end) break;
+    const RequestSpec spec = mix.Sample(rng);
+    const CallResult result =
+        co_await web->ServeCall(client->node_id(), spec);
+    if (RunWindow* w = FindWindow(windows, call_start)) {
+      ++w->attempts;
+      if (result.ok && !web->failed()) {
+        ++w->ok;
+        // httperf's reported response time amortises connection setup —
+        // including SYN retransmission waits — over the connection's
+        // first reply.
+        w->response.Add(result.total +
+                        (i == 0 ? cres.connect_delay : 0.0));
+      } else {
+        ++w->errors;
+      }
+    }
+    if (web->failed()) break;  // connection reset by the dead server
+  }
+  conn.Close();
+}
+
+// Poisson arrival process for closed-loop connections.
+sim::Process ClosedLoopArrivals(Testbed& tb, Windows windows,
+                                const WorkloadMix& mix, double rate,
+                                int calls, Rng rng) {
+  const SimTime end = WindowsEnd(windows);
+  while (tb.sched.now() < end) {
+    co_await sim::Delay(tb.sched, rng.Exponential(rate));
+    if (tb.sched.now() >= end) break;
+    sim::Spawn(tb.sched,
+               ClosedLoopConnection(tb, windows, mix, tb.NextWeb(),
+                                    tb.NextClient(), calls, rng.Fork()));
+  }
+}
+
+// One open-loop (python urllib2) request: fresh connection per request.
+sim::Process OpenLoopRequest(Testbed& tb, RunWindow& window,
+                             const WorkloadMix& mix, WebServer* web,
+                             net::TcpHost* client,
+                             LinearHistogram* histogram, Rng rng) {
+  const SimTime start = tb.sched.now();
+  net::TcpConnection conn(client, &web->tcp_host());
+  const net::ConnectResult cres = co_await conn.Connect(/*hold_backlog=*/true);
+  if (!cres.status.ok()) {
+    if (window.InWindow(start)) {
+      ++window.attempts;
+      ++window.errors;
+    }
+    co_return;
+  }
+  co_await web->AcceptWork();
+  const RequestSpec spec = mix.Sample(rng);
+  const CallResult result = co_await web->ServeCall(client->node_id(), spec);
+  conn.Close();
+  const Duration client_seen = tb.sched.now() - start;
+  if (window.InWindow(start)) {
+    ++window.attempts;
+    if (result.ok) {
+      ++window.ok;
+      window.response.Add(result.total);
+      window.client_delay.Add(client_seen);
+      if (histogram != nullptr) histogram->Add(client_seen);
+    } else {
+      ++window.errors;
+    }
+  }
+}
+
+sim::Process OpenLoopArrivals(Testbed& tb, RunWindow& window,
+                              const WorkloadMix& mix, double rate,
+                              LinearHistogram* histogram, Rng rng) {
+  while (tb.sched.now() < window.measure_end) {
+    co_await sim::Delay(tb.sched, rng.Exponential(rate));
+    if (tb.sched.now() >= window.measure_end) break;
+    sim::Spawn(tb.sched,
+               OpenLoopRequest(tb, window, mix, tb.NextWeb(),
+                               tb.NextClient(), histogram, rng.Fork()));
+  }
+}
+
+// Merges the per-server delay decompositions into the report.
+template <typename Report>
+void CollectServerDelays(Testbed& tb, Report* report) {
+  for (auto& web : tb.webs) {
+    report->db_delay.Merge(web->db_delay_stats());
+    report->cache_delay.Merge(web->cache_delay_stats());
+    report->total_delay.Merge(web->total_delay_stats());
+  }
+}
+
+}  // namespace
+
+int WebExperiment::TunedCallsPerConnection(double concurrency) {
+  const double target = 7200.0;  // full-scale cluster capacity
+  const int calls = static_cast<int>(std::lround(target / concurrency));
+  return std::clamp(calls, 1, 14);
+}
+
+LevelReport WebExperiment::MeasureClosedLoop(const WorkloadMix& mix,
+                                             double concurrency,
+                                             int calls_per_connection,
+                                             Duration warmup,
+                                             Duration measure) {
+  Testbed tb(config_, config_.client_machines);
+  RunWindow window;
+  window.warmup_end = warmup;
+  window.measure_end = warmup + measure;
+
+  cluster::MetricsSampler web_sampler(&tb.clstr, {"web-server"}, 1.0);
+  cluster::MetricsSampler cache_sampler(&tb.clstr, {"cache-server"}, 1.0);
+
+  Joules epoch_joules = 0;
+  tb.sched.ScheduleAt(window.warmup_end, [&] {
+    for (auto& web : tb.webs) web->ResetStats();
+    epoch_joules =
+        tb.clstr.CumulativeJoules({"web-server", "cache-server"});
+    web_sampler.Start();
+    cache_sampler.Start();
+  });
+  Joules window_joules = 0;
+  tb.sched.ScheduleAt(window.measure_end, [&] {
+    window_joules =
+        tb.clstr.CumulativeJoules({"web-server", "cache-server"}) -
+        epoch_joules;
+    web_sampler.Stop();
+    cache_sampler.Stop();
+  });
+
+  sim::Spawn(tb.sched,
+             ClosedLoopArrivals(tb, {&window}, mix, concurrency,
+                                calls_per_connection, tb.rng.Fork()));
+  tb.sched.Run();
+
+  LevelReport report;
+  report.target_concurrency = concurrency;
+  report.calls_per_connection = calls_per_connection;
+  report.achieved_rps = static_cast<double>(window.ok) / measure;
+  report.error_rate =
+      window.attempts == 0
+          ? 0.0
+          : static_cast<double>(window.errors) /
+                static_cast<double>(window.attempts);
+  report.mean_response = window.response.mean();
+  report.middle_tier_power = window_joules / measure;
+
+  auto mean_of = [](const std::vector<cluster::MetricsSample>& samples,
+                    auto member) {
+    if (samples.empty()) return 0.0;
+    double sum = 0;
+    for (const auto& s : samples) sum += s.*member;
+    return sum / static_cast<double>(samples.size());
+  };
+  report.web_cpu_pct =
+      mean_of(web_sampler.samples(), &cluster::MetricsSample::cpu_pct);
+  report.web_memory_pct =
+      mean_of(web_sampler.samples(), &cluster::MetricsSample::memory_pct);
+  report.cache_cpu_pct =
+      mean_of(cache_sampler.samples(), &cluster::MetricsSample::cpu_pct);
+  report.cache_memory_pct =
+      mean_of(cache_sampler.samples(), &cluster::MetricsSample::memory_pct);
+
+  CollectServerDelays(tb, &report);
+  return report;
+}
+
+WebExperiment::FailureReport WebExperiment::MeasureWithFailure(
+    const WorkloadMix& mix, double concurrency, int calls_per_connection,
+    int failed_servers, Duration warmup, Duration half_window) {
+  Testbed tb(config_, config_.client_machines);
+  RunWindow before;
+  before.warmup_end = warmup;
+  before.measure_end = warmup + half_window;
+  RunWindow after;
+  after.warmup_end = before.measure_end;
+  after.measure_end = before.measure_end + half_window;
+
+  const int to_fail =
+      std::min<int>(failed_servers,
+                    static_cast<int>(tb.webs.size()) - 1);
+  tb.sched.ScheduleAt(before.measure_end, [&tb, to_fail] {
+    for (int i = 0; i < to_fail; ++i) tb.webs[i]->set_failed(true);
+  });
+
+  sim::Spawn(tb.sched,
+             ClosedLoopArrivals(tb, {&before, &after}, mix, concurrency,
+                                calls_per_connection, tb.rng.Fork()));
+  tb.sched.Run();
+
+  auto fill = [&](const RunWindow& window) {
+    LevelReport report;
+    report.target_concurrency = concurrency;
+    report.calls_per_connection = calls_per_connection;
+    report.achieved_rps =
+        static_cast<double>(window.ok) / half_window;
+    report.error_rate =
+        window.attempts == 0
+            ? 0.0
+            : static_cast<double>(window.errors) /
+                  static_cast<double>(window.attempts);
+    report.mean_response = window.response.mean();
+    return report;
+  };
+  FailureReport report;
+  report.before = fill(before);
+  report.after = fill(after);
+  report.failed_servers = to_fail;
+  report.total_servers = static_cast<int>(tb.webs.size());
+  return report;
+}
+
+OpenLoopReport WebExperiment::MeasureOpenLoop(const WorkloadMix& mix,
+                                              double target_rps,
+                                              Duration measure,
+                                              double histogram_max_s,
+                                              std::size_t histogram_buckets) {
+  // The paper uses 30 logging client machines for this test.
+  Testbed tb(config_, 30);
+  RunWindow window;
+  window.warmup_end = Seconds(2);
+  window.measure_end = window.warmup_end + measure;
+
+  OpenLoopReport report{.target_rps = target_rps,
+                        .achieved_rps = 0,
+                        .error_rate = 0,
+                        .delay_histogram = LinearHistogram(
+                            0.0, histogram_max_s, histogram_buckets),
+                        .db_delay = {},
+                        .cache_delay = {},
+                        .total_delay = {},
+                        .client_delay = {}};
+
+  tb.sched.ScheduleAt(window.warmup_end, [&] {
+    for (auto& web : tb.webs) web->ResetStats();
+  });
+
+  sim::Spawn(tb.sched,
+             OpenLoopArrivals(tb, window, mix, target_rps,
+                              &report.delay_histogram, tb.rng.Fork()));
+  tb.sched.Run();
+
+  report.achieved_rps = static_cast<double>(window.ok) / measure;
+  report.error_rate =
+      window.attempts == 0
+          ? 0.0
+          : static_cast<double>(window.errors) /
+                static_cast<double>(window.attempts);
+  report.client_delay = window.client_delay;
+  CollectServerDelays(tb, &report);
+  return report;
+}
+
+}  // namespace wimpy::web

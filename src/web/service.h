@@ -1,0 +1,129 @@
+// Full web-service testbed and experiment drivers (paper §5.1).
+//
+// A testbed instantiates the paper's deployment: a middle tier of web and
+// cache servers (Edison or Dell), the two shared Dell MySQL servers, client
+// machines behind HAProxy, and the room-level network topology with its
+// 1 Gbps client<->Edison aggregate uplink and 2 Gbps client<->Dell path.
+//
+// Two measurement modes mirror the paper's tooling:
+//   * closed-loop httperf — `connections/sec` arrivals, each performing a
+//     tuned number of calls (Figures 4-9);
+//   * open-loop python clients — one fresh connection per request at a
+//     fixed aggregate rate, logging full client-perceived delay including
+//     SYN backoff (Figures 10/11, Table 7).
+#ifndef WIMPY_WEB_SERVICE_H_
+#define WIMPY_WEB_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/stats.h"
+#include "common/units.h"
+#include "hw/profile.h"
+#include "web/backend.h"
+#include "web/web_server.h"
+#include "web/workload.h"
+
+namespace wimpy::web {
+
+struct WebTestbedConfig {
+  hw::HardwareProfile middle_profile;  // web+cache tier hardware
+  int web_servers = 24;
+  int cache_servers = 11;
+  std::string middle_group = "edison-room";
+  WebServerConfig web_config;
+  BackendCosts backend_costs;
+  int client_machines = 8;
+  std::uint64_t seed = 20160901;
+};
+
+// Calibrated per-platform web-server configs (see web_server.h for the
+// service_efficiency rationale).
+WebServerConfig EdisonWebConfig();
+WebServerConfig DellWebConfig();
+
+// The paper's middle-tier scale ladder (Table 6).
+WebTestbedConfig EdisonWebTestbed(int web_servers, int cache_servers);
+WebTestbedConfig DellWebTestbed(int web_servers, int cache_servers);
+
+// Result of one closed-loop concurrency level.
+struct LevelReport {
+  double target_concurrency = 0;   // new connections/sec
+  int calls_per_connection = 0;
+  double achieved_rps = 0;         // OK replies per second
+  double error_rate = 0;           // (500s + failed connects) / attempts
+  Duration mean_response = 0;      // client-perceived per call
+  Watts middle_tier_power = 0;     // web+cache aggregate mean over window
+  double web_cpu_pct = 0;          // mean during window
+  double cache_cpu_pct = 0;
+  double web_memory_pct = 0;
+  double cache_memory_pct = 0;
+  // Table 7 decomposition, aggregated across all web servers.
+  OnlineStats db_delay;
+  OnlineStats cache_delay;
+  OnlineStats total_delay;
+};
+
+// Result of an open-loop delay-distribution run.
+struct OpenLoopReport {
+  double target_rps = 0;
+  double achieved_rps = 0;
+  double error_rate = 0;
+  LinearHistogram delay_histogram;
+  OnlineStats db_delay;
+  OnlineStats cache_delay;
+  OnlineStats total_delay;     // server-side, excludes reconnect delay
+  OnlineStats client_delay;    // includes SYN backoff
+};
+
+class WebExperiment {
+ public:
+  explicit WebExperiment(WebTestbedConfig config)
+      : config_(std::move(config)) {}
+
+  // Runs one httperf concurrency level on a fresh testbed.
+  LevelReport MeasureClosedLoop(const WorkloadMix& mix, double concurrency,
+                                int calls_per_connection,
+                                Duration warmup = Seconds(5),
+                                Duration measure = Seconds(30));
+
+  // Runs the python-client open-loop test on a fresh testbed.
+  OpenLoopReport MeasureOpenLoop(const WorkloadMix& mix, double target_rps,
+                                 Duration measure = Seconds(30),
+                                 double histogram_max_s = 8.0,
+                                 std::size_t histogram_buckets = 32);
+
+  // Fault-injection run: `failed_servers` web servers crash at the middle
+  // of the measurement window; throughput/error/delay are reported for
+  // the halves before and after the failure. Validates the paper's
+  // load-redistribution argument (§1, advantage 2).
+  struct FailureReport {
+    LevelReport before;
+    LevelReport after;
+    int failed_servers = 0;
+    int total_servers = 0;
+  };
+  FailureReport MeasureWithFailure(const WorkloadMix& mix,
+                                   double concurrency,
+                                   int calls_per_connection,
+                                   int failed_servers,
+                                   Duration warmup = Seconds(5),
+                                   Duration half_window = Seconds(20));
+
+  // The paper tunes httperf calls-per-connection at every level so the
+  // offered load tracks the target concurrency without client errors; this
+  // reproduces that policy (more calls at low concurrency, fewer at high).
+  static int TunedCallsPerConnection(double concurrency);
+
+  const WebTestbedConfig& config() const { return config_; }
+
+ private:
+  WebTestbedConfig config_;
+};
+
+}  // namespace wimpy::web
+
+#endif  // WIMPY_WEB_SERVICE_H_

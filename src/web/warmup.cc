@@ -1,0 +1,55 @@
+#include "web/warmup.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wimpy::web {
+
+double ZipfCoverage(double cached_items, double total_items, double s) {
+  if (total_items <= 1 || cached_items <= 0) return cached_items > 0 ? 1 : 0;
+  cached_items = std::min(cached_items, total_items);
+  if (std::abs(s - 1.0) < 1e-9) {
+    return std::log(1.0 + cached_items) / std::log(1.0 + total_items);
+  }
+  // Generalised harmonic partial sums, continuous approximation:
+  // H(k) ~ (k^(1-s) - 1) / (1 - s).
+  const double hk = (std::pow(cached_items, 1.0 - s) - 1.0) / (1.0 - s);
+  const double hn = (std::pow(total_items, 1.0 - s) - 1.0) / (1.0 - s);
+  return std::clamp(hk / hn, 0.0, 1.0);
+}
+
+double EstimateHitRatio(const TableCatalog& catalog,
+                        const CacheTierSpec& tier) {
+  const double capacity =
+      static_cast<double>(tier.cache_servers) *
+      static_cast<double>(tier.server_memory) * tier.usable_fraction;
+
+  // LRU steady state: each table's share of cache space is proportional
+  // to its share of the (miss-driven) request mass.
+  double total_weight = 0;
+  for (const auto& t : catalog.tables()) total_weight += t.weight;
+
+  double hit = 0;
+  for (const auto& t : catalog.tables()) {
+    const double share = t.weight / total_weight;
+    if (share <= 0) continue;
+    const double table_capacity = capacity * share;
+    const double cached_items =
+        table_capacity / static_cast<double>(std::max<Bytes>(
+                             1, t.row_bytes_mean));
+    hit += share * ZipfCoverage(cached_items,
+                                static_cast<double>(t.rows), tier.zipf_s);
+  }
+  return hit;
+}
+
+Duration WarmupTimeNeeded(const CacheTierSpec& tier,
+                          BytesPerSecond fill_rate) {
+  if (fill_rate <= 0) return 0;
+  const double capacity =
+      static_cast<double>(tier.cache_servers) *
+      static_cast<double>(tier.server_memory) * tier.usable_fraction;
+  return capacity / fill_rate;
+}
+
+}  // namespace wimpy::web

@@ -1,0 +1,45 @@
+// Cache warm-up and working-set model (paper §5.1.1).
+//
+// The paper controls the memcached hit ratio by adjusting warm-up time
+// and measures it from memcached statistics. This module closes the loop
+// analytically: given the table catalog, a Zipf-like row popularity skew
+// and the cache tier's capacity, it predicts the steady-state hit ratio —
+// and conversely the warm-up time needed to reach it. The experiment
+// harness still takes the hit ratio as a parameter (as the paper reports
+// it); this model justifies those parameters from hardware capacity.
+#ifndef WIMPY_WEB_WARMUP_H_
+#define WIMPY_WEB_WARMUP_H_
+
+#include "common/units.h"
+#include "web/catalog.h"
+
+namespace wimpy::web {
+
+// Fraction of a Zipf(s) popularity mass covered by caching the `cached`
+// most popular of `total` items. s = 1 gives the classic ln(k)/ln(N);
+// heavier skews (s > 1) saturate faster.
+double ZipfCoverage(double cached_items, double total_items, double s);
+
+struct CacheTierSpec {
+  int cache_servers = 11;
+  Bytes server_memory = GB(1);
+  // Fraction of RAM usable for values (slab + index overheads excluded).
+  double usable_fraction = 0.5;
+  // Popularity skew across rows; web access patterns run s ~ 0.9-1.2.
+  double zipf_s = 1.1;
+};
+
+// Predicted steady-state hit ratio for a fully warmed cache tier serving
+// the catalog's request mix (per-table LRU shares proportional to request
+// weight).
+double EstimateHitRatio(const TableCatalog& catalog,
+                        const CacheTierSpec& tier);
+
+// Time to populate the tier at `fill_rate` (bytes/s of misses being
+// inserted) — the knob the paper turns to hit 93/77/60%.
+Duration WarmupTimeNeeded(const CacheTierSpec& tier,
+                          BytesPerSecond fill_rate);
+
+}  // namespace wimpy::web
+
+#endif  // WIMPY_WEB_WARMUP_H_

@@ -1,0 +1,41 @@
+#include "web/workload.h"
+
+#include <algorithm>
+
+namespace wimpy::web {
+
+RequestSpec WorkloadMix::Sample(Rng& rng) const {
+  RequestSpec spec;
+  spec.is_image = rng.Bernoulli(image_fraction);
+  const double mean = static_cast<double>(
+      spec.is_image ? image_reply_mean : plain_reply_mean);
+  const double stddev = static_cast<double>(
+      spec.is_image ? image_reply_stddev : plain_reply_stddev);
+  spec.reply_bytes =
+      std::max<Bytes>(128, static_cast<Bytes>(
+                               rng.LogNormalMeanStd(mean, stddev)));
+  spec.cache_hit = rng.Bernoulli(cache_hit_ratio);
+  return spec;
+}
+
+WorkloadMix LightMix() { return WorkloadMix{}; }
+
+WorkloadMix MixWithCacheRatio(double ratio) {
+  WorkloadMix mix;
+  mix.cache_hit_ratio = ratio;
+  return mix;
+}
+
+WorkloadMix MixWithImagePercent(double image_fraction) {
+  WorkloadMix mix;
+  mix.image_fraction = image_fraction;
+  return mix;
+}
+
+WorkloadMix HeavyMix() {
+  WorkloadMix mix;
+  mix.image_fraction = 0.20;
+  return mix;
+}
+
+}  // namespace wimpy::web

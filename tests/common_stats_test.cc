@@ -1,0 +1,116 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+
+namespace wimpy {
+namespace {
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, BasicMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStatsTest, MergeEqualsSingleStream) {
+  OnlineStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = i * 0.37 - 5;
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStatsTest, MergeWithEmptySides) {
+  OnlineStats a, b;
+  a.Add(1.0);
+  a.Merge(b);  // merging empty is a no-op
+  EXPECT_EQ(a.count(), 1u);
+  b.Merge(a);  // merging into empty copies
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 1.0);
+}
+
+TEST(PercentileTrackerTest, ExactQuartiles) {
+  PercentileTracker t;
+  for (int i = 100; i >= 1; --i) t.Add(i);  // 1..100, reverse order
+  EXPECT_DOUBLE_EQ(t.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(1.0), 100.0);
+  EXPECT_NEAR(t.Median(), 50.5, 1e-12);
+  EXPECT_NEAR(t.Percentile(0.99), 99.01, 1e-9);
+}
+
+TEST(PercentileTrackerTest, AddAfterQueryResorts) {
+  PercentileTracker t;
+  t.Add(10.0);
+  EXPECT_DOUBLE_EQ(t.Median(), 10.0);
+  t.Add(0.0);
+  t.Add(20.0);
+  EXPECT_DOUBLE_EQ(t.Median(), 10.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(0.0), 0.0);
+}
+
+TEST(TimeWeightedAverageTest, PiecewiseConstantIntegral) {
+  TimeWeightedAverage twa;
+  twa.Set(0.0, 10.0);  // 10 W for 2 s
+  twa.Set(2.0, 50.0);  // 50 W for 3 s
+  EXPECT_DOUBLE_EQ(twa.IntegralUntil(5.0), 10.0 * 2 + 50.0 * 3);
+  EXPECT_DOUBLE_EQ(twa.AverageUntil(5.0), 170.0 / 5.0);
+  EXPECT_DOUBLE_EQ(twa.current(), 50.0);
+}
+
+TEST(TimeWeightedAverageTest, NoElapsedTimeUsesCurrent) {
+  TimeWeightedAverage twa;
+  twa.Set(3.0, 7.0);
+  EXPECT_DOUBLE_EQ(twa.AverageUntil(3.0), 7.0);
+  EXPECT_DOUBLE_EQ(twa.IntegralUntil(3.0), 0.0);
+}
+
+TEST(LinearHistogramTest, BucketsAndOverflow) {
+  LinearHistogram h(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(0.7);
+  h.Add(5.5);
+  h.Add(25.0);
+  h.Add(-1.0);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.BucketValue(0), 2u);
+  EXPECT_EQ(h.BucketValue(5), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.ArgMaxBucket(), 0u);
+  EXPECT_DOUBLE_EQ(h.BucketLow(5), 5.0);
+  EXPECT_DOUBLE_EQ(h.BucketHigh(5), 6.0);
+}
+
+TEST(LinearHistogramTest, AsciiRenderingContainsBars) {
+  LinearHistogram h(0.0, 4.0, 4);
+  for (int i = 0; i < 8; ++i) h.Add(1.5);
+  h.Add(3.5);
+  const std::string art = h.ToAscii(10);
+  EXPECT_NE(art.find("##########"), std::string::npos);
+  EXPECT_NE(art.find("3.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wimpy

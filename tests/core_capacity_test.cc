@@ -1,0 +1,72 @@
+#include "core/capacity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiments.h"
+#include "hw/profiles.h"
+
+namespace wimpy::core {
+namespace {
+
+TEST(CapacityTest, Table2ReplacementRatios) {
+  const auto r = ComputeReplacement(hw::EdisonProfile(),
+                                    hw::DellR620Profile());
+  // §3.1: 12 by CPU nameplate, 16 by RAM, 10 by NIC -> 16 to replace one.
+  EXPECT_NEAR(r.by_cpu_nameplate, 12.0, 0.01);
+  EXPECT_NEAR(r.by_memory, 16.0, 0.01);
+  EXPECT_NEAR(r.by_nic, 10.0, 0.01);
+  EXPECT_EQ(r.nodes_to_replace_one, 16);
+}
+
+TEST(CapacityTest, MeasuredCpuChangesTheAnswer) {
+  const auto r = ComputeReplacement(hw::EdisonProfile(),
+                                    hw::DellR620Profile());
+  // §7: the measured ~100x CPU gap dwarfs the nameplate 12x.
+  EXPECT_GT(r.by_cpu_measured, 90.0);
+  EXPECT_EQ(r.nodes_to_replace_one_measured,
+            static_cast<int>(std::ceil(r.by_cpu_measured)));
+}
+
+TEST(CapacityTest, RackDensityAboutTwoHundred) {
+  const auto d = EdisonRackDensity();
+  EXPECT_NEAR(d.modules_per_1u, 200, 10);
+}
+
+TEST(CapacityTest, SelfReplacementIsOne) {
+  const auto r = ComputeReplacement(hw::DellR620Profile(),
+                                    hw::DellR620Profile());
+  EXPECT_EQ(r.nodes_to_replace_one, 1);
+}
+
+TEST(ExperimentsTest, PaperJobCatalog) {
+  EXPECT_EQ(AllPaperJobs().size(), 6u);
+  EXPECT_EQ(PaperJobName(PaperJob::kWordCount2), "wordcount2");
+  const auto spec =
+      SpecFor(PaperJob::kTeraSort, mapreduce::EdisonMrCluster(35));
+  EXPECT_EQ(spec.name, "terasort");
+}
+
+TEST(ExperimentsTest, EnergyEfficiencyRatio) {
+  // Table 8 wordcount: Edison 17670 J vs Dell 40214 J -> 2.28x.
+  EXPECT_NEAR(EnergyEfficiencyRatio(17670, 40214), 2.28, 0.01);
+  EXPECT_EQ(EnergyEfficiencyRatio(0, 100), 0.0);
+}
+
+TEST(ExperimentsTest, MeanSpeedupPerDoubling) {
+  // Perfect linear scaling -> 2.0 per doubling.
+  EXPECT_NEAR(MeanSpeedupPerDoubling(
+                  {{4, 800.0}, {8, 400.0}, {16, 200.0}, {32, 100.0}}),
+              2.0, 1e-9);
+  // No scaling -> 1.0.
+  EXPECT_NEAR(MeanSpeedupPerDoubling({{4, 100.0}, {8, 100.0}}), 1.0, 1e-9);
+  // Non-power-of-two ladder (35 vs 17) still normalises per doubling.
+  const double s =
+      MeanSpeedupPerDoubling({{17, 1065.0}, {35, 310.0}});
+  EXPECT_GT(s, 2.0);  // super-linear step in the paper's wordcount ladder
+  EXPECT_EQ(MeanSpeedupPerDoubling({{4, 100.0}}), 0.0);
+}
+
+}  // namespace
+}  // namespace wimpy::core

@@ -1,0 +1,46 @@
+#include "core/diurnal.h"
+
+#include <gtest/gtest.h>
+
+namespace wimpy::core {
+namespace {
+
+TEST(DiurnalPatternTest, PeakAndTroughLandWhereExpected) {
+  DiurnalPattern pattern;
+  pattern.peak_rps = 8000;
+  pattern.trough_fraction = 0.25;
+  EXPECT_NEAR(pattern.RateAt(16.0), 8000, 1);        // peak hour
+  EXPECT_NEAR(pattern.RateAt(4.0), 2000, 1);         // trough hour
+  EXPECT_GT(pattern.RateAt(12.0), pattern.RateAt(6.0));
+  // Continuous across midnight.
+  EXPECT_NEAR(pattern.RateAt(0.0), pattern.RateAt(23.999), 5);
+}
+
+TEST(DiurnalEnergyTest, EdisonTierDoesMoreDailyWorkPerJoule) {
+  DiurnalPattern pattern;
+  pattern.peak_rps = 1800;  // quarter-scale tiers
+  const auto edison = MeasureDailyEnergy(web::EdisonWebTestbed(6, 3),
+                                         pattern, 4);
+  const auto dell = MeasureDailyEnergy(web::DellWebTestbed(1, 1),
+                                       pattern, 4);
+  ASSERT_EQ(edison.hours.size(), 4u);
+  EXPECT_GT(edison.daily_requests, 0.8 * dell.daily_requests);
+  EXPECT_LT(edison.daily_joules, dell.daily_joules);
+  EXPECT_GT(edison.requests_per_joule, 2.0 * dell.requests_per_joule);
+}
+
+TEST(DiurnalEnergyTest, TroughHoursStillBurnDellIdleFloor) {
+  DiurnalPattern pattern;
+  pattern.peak_rps = 1200;
+  pattern.trough_fraction = 0.1;
+  const auto dell = MeasureDailyEnergy(web::DellWebTestbed(1, 1),
+                                       pattern, 4);
+  // Even the quietest sampled hour draws at least the 2-node idle floor
+  // (1 web + 1 cache).
+  Watts min_power = 1e9;
+  for (const auto& h : dell.hours) min_power = std::min(min_power, h.power);
+  EXPECT_GT(min_power, 2 * 52.0 * 0.95);
+}
+
+}  // namespace
+}  // namespace wimpy::core

@@ -1,0 +1,91 @@
+#include "core/hybrid.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/profiles.h"
+
+namespace wimpy::core {
+namespace {
+
+// Calibration probes run real (small) simulations; share them across tests.
+class HybridTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    wimpy_ = new NodeCapability(CalibrateNode(hw::EdisonProfile()));
+    brawny_ = new NodeCapability(CalibrateNode(hw::DellR620Profile()));
+  }
+  static void TearDownTestSuite() {
+    delete wimpy_;
+    delete brawny_;
+    wimpy_ = nullptr;
+    brawny_ = nullptr;
+  }
+
+  static NodeCapability* wimpy_;
+  static NodeCapability* brawny_;
+};
+
+NodeCapability* HybridTest::wimpy_ = nullptr;
+NodeCapability* HybridTest::brawny_ = nullptr;
+
+TEST_F(HybridTest, CalibrationFindsSensibleRates) {
+  EXPECT_GT(wimpy_->web_rps_per_node, 100);
+  EXPECT_LT(wimpy_->web_rps_per_node, 2000);
+  EXPECT_GT(brawny_->web_rps_per_node, wimpy_->web_rps_per_node);
+  // The brawny node answers faster at low load (paper Fig 7: ~5x).
+  EXPECT_LT(brawny_->web_latency, wimpy_->web_latency);
+  EXPECT_GT(wimpy_->mr_mbps_per_node, 0.05);
+  EXPECT_GT(brawny_->mr_mbps_per_node, wimpy_->mr_mbps_per_node);
+}
+
+TEST_F(HybridTest, PlansCoverDemand) {
+  WorkloadTarget target;
+  target.web_rps = 8000;
+  target.web_latency_slo = Milliseconds(50);
+  target.mr_mb_per_day = 400000;
+  const auto plans = PlanFleet(target, *wimpy_, *brawny_);
+  ASSERT_EQ(plans.size(), 3u);
+  for (const auto& plan : plans) {
+    if (!plan.feasible) continue;
+    EXPECT_GT(plan.web_nodes + plan.latency_nodes, 0) << plan.name;
+    EXPECT_GT(plan.batch_nodes, 0) << plan.name;
+    EXPECT_GT(plan.tco_3yr_usd, 0) << plan.name;
+    EXPECT_GT(plan.mean_power, 0) << plan.name;
+  }
+}
+
+TEST_F(HybridTest, TightSloDisqualifiesPureWimpy) {
+  WorkloadTarget target;
+  // SLO below the Edison low-load latency but above Dell's.
+  target.web_latency_slo =
+      (wimpy_->web_latency + brawny_->web_latency) / 2.0;
+  const auto plans = PlanFleet(target, *wimpy_, *brawny_);
+  const FleetPlan* all_wimpy = nullptr;
+  const FleetPlan* hybrid = nullptr;
+  for (const auto& plan : plans) {
+    if (plan.name == "all-wimpy") all_wimpy = &plan;
+    if (plan.name == "hybrid") hybrid = &plan;
+  }
+  ASSERT_NE(all_wimpy, nullptr);
+  ASSERT_NE(hybrid, nullptr);
+  EXPECT_FALSE(all_wimpy->feasible);
+  EXPECT_TRUE(hybrid->feasible);  // brawny tier takes the SLO share
+}
+
+TEST_F(HybridTest, HybridBeatsAllBrawnyOnPower) {
+  WorkloadTarget target;
+  target.web_rps = 10000;
+  target.web_latency_slo = Milliseconds(50);
+  target.mr_mb_per_day = 500000;
+  const auto plans = PlanFleet(target, *wimpy_, *brawny_);
+  double brawny_power = 0, hybrid_power = 0;
+  for (const auto& plan : plans) {
+    if (plan.name == "all-brawny") brawny_power = plan.mean_power;
+    if (plan.name == "hybrid") hybrid_power = plan.mean_power;
+  }
+  // The paper's §7 thesis: the hybrid keeps performance but saves power.
+  EXPECT_LT(hybrid_power, brawny_power);
+}
+
+}  // namespace
+}  // namespace wimpy::core

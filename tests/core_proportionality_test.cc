@@ -1,0 +1,73 @@
+#include "core/proportionality.h"
+
+#include <gtest/gtest.h>
+
+#include "core/powerdown.h"
+#include "hw/profiles.h"
+
+namespace wimpy::core {
+namespace {
+
+TEST(ProportionalityTest, DellHasNarrowPowerSpectrum) {
+  // §1: "current high-end servers are not energy-proportional and have
+  // narrow power spectrum between idling and full utilization".
+  const auto report = MeasureProportionality(hw::DellR620Profile(),
+                                             {0.0, 0.5, 1.0});
+  EXPECT_NEAR(report.dynamic_range, (109.0 - 52.0) / 109.0, 1e-9);
+  EXPECT_LT(report.dynamic_range, 0.55);
+  // At zero load, more than half of busy power is already burning.
+  EXPECT_GT(report.curve.front().normalized, 0.45);
+}
+
+TEST(ProportionalityTest, CurveIsMonotoneAndBounded) {
+  const auto report = MeasureProportionality(hw::EdisonProfile());
+  double prev = -1;
+  for (const auto& point : report.curve) {
+    EXPECT_GE(point.power, report.idle_power - 1e-9);
+    EXPECT_LE(point.power, report.busy_power + 1e-9);
+    EXPECT_GE(point.power, prev - 1e-9);  // more load, more power
+    prev = point.power;
+  }
+}
+
+TEST(ProportionalityTest, EpCoefficientRanksPlatforms) {
+  // Neither platform is proportional, but the shape metric must be
+  // internally consistent: gap in [0, 0.5], EP in [0, 1].
+  for (const auto& profile :
+       {hw::EdisonProfile(), hw::DellR620Profile()}) {
+    const auto report =
+        MeasureProportionality(profile, {0.0, 0.25, 0.5, 0.75, 1.0});
+    EXPECT_GE(report.proportionality_gap, 0.0) << profile.name;
+    EXPECT_LE(report.proportionality_gap, 0.5) << profile.name;
+    EXPECT_GE(report.ep_coefficient, 0.0) << profile.name;
+    EXPECT_LE(report.ep_coefficient, 1.0) << profile.name;
+  }
+}
+
+TEST(PowerDownTest, StrategiesCoverTheJobAndSaveEnergy) {
+  const auto outcomes = EvaluatePowerDown(
+      PaperJob::kWordCount2, /*edison_cluster=*/true, /*total_nodes=*/8,
+      /*covering_nodes=*/4, Hours(1));
+  ASSERT_EQ(outcomes.size(), 3u);
+  const auto& always_on = outcomes[0];
+  const auto& ais = outcomes[1];
+  const auto& cs = outcomes[2];
+  EXPECT_EQ(always_on.strategy, "always-on");
+  // Both power-down strategies beat paying idle power for the rest of the
+  // hour.
+  EXPECT_LT(ais.cluster_joules, always_on.cluster_joules);
+  EXPECT_LT(cs.cluster_joules, always_on.cluster_joules);
+  // CS runs narrower, so it takes longer than AIS.
+  EXPECT_GT(cs.makespan, ais.makespan);
+  EXPECT_EQ(cs.active_nodes, 4);
+  EXPECT_GT(ais.work_done_per_joule, 0);
+}
+
+TEST(PowerDownTest, CoveringNodesClamped) {
+  const auto outcomes = EvaluatePowerDown(PaperJob::kWordCount2, true, 4,
+                                          99, Hours(1));
+  EXPECT_EQ(outcomes[2].active_nodes, 4);
+}
+
+}  // namespace
+}  // namespace wimpy::core

@@ -1,0 +1,74 @@
+#include "core/tco.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/profiles.h"
+
+namespace wimpy::core {
+namespace {
+
+TEST(TcoTest, MeanPowerInterpolates) {
+  TcoParams p;
+  p.peak_power = 109;
+  p.idle_power = 52;
+  EXPECT_DOUBLE_EQ(MeanPower(p, 0.0), 52.0);
+  EXPECT_DOUBLE_EQ(MeanPower(p, 1.0), 109.0);
+  EXPECT_DOUBLE_EQ(MeanPower(p, 0.5), 80.5);
+}
+
+TEST(TcoTest, ElectricityCostFormula) {
+  TcoParams p = TcoParamsFor(hw::DellR620Profile());
+  // One Dell at idle for 3 years: 52 W * 26280 h = 1366.56 kWh -> $136.66.
+  EXPECT_NEAR(ElectricityCostUsd(p, 1, 0.0), 136.66, 0.1);
+}
+
+TEST(TcoTest, PurchaseDominatesForEdison) {
+  TcoParams edison = TcoParamsFor(hw::EdisonProfile());
+  const double tco = TcoUsd(edison, 35, 1.0);
+  // 35 x $120 = $4200 purchase; electricity at full load ~ $155.
+  EXPECT_NEAR(tco, 4200 + 35 * 1.68 * 26.280 * 0.1, 1.0);
+  EXPECT_GT(4200.0 / tco, 0.95);
+}
+
+TEST(TcoTest, PaperTable10RowsReproduce) {
+  const auto scenarios = PaperTable10Scenarios();
+  ASSERT_EQ(scenarios.size(), 4u);
+
+  // Paper Table 10 (Dell, Edison): web low (7948.7, 4329.5);
+  // web high (8236.8, 4346.1); big data low (5348.2, 4352.4);
+  // big data high (5495.0, 4352.4).
+  const double expected[][2] = {{7948.7, 4329.5},
+                                {8236.8, 4346.1},
+                                {5348.2, 4352.4},
+                                {5495.0, 4352.4}};
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const TcoComparison cmp = Compare(scenarios[i]);
+    EXPECT_NEAR(cmp.a_total_usd, expected[i][0], expected[i][0] * 0.01)
+        << scenarios[i].name;
+    EXPECT_NEAR(cmp.b_total_usd, expected[i][1], expected[i][1] * 0.01)
+        << scenarios[i].name;
+  }
+}
+
+TEST(TcoTest, HeadlineSavingsUpTo47Percent) {
+  double best = 0;
+  for (const auto& scenario : PaperTable10Scenarios()) {
+    best = std::max(best, Compare(scenario).savings_fraction);
+  }
+  EXPECT_NEAR(best, 0.47, 0.02);
+}
+
+TEST(TcoTest, SavingsMonotonicInDellUtilisation) {
+  const TcoParams edison = TcoParamsFor(hw::EdisonProfile());
+  const TcoParams dell = TcoParamsFor(hw::DellR620Profile());
+  double prev = -1;
+  for (double u = 0.1; u <= 0.9; u += 0.2) {
+    TcoScenario s{"sweep", dell, 3, u, edison, 35, u};
+    const double savings = Compare(s).savings_fraction;
+    EXPECT_GT(savings, prev);
+    prev = savings;
+  }
+}
+
+}  // namespace
+}  // namespace wimpy::core

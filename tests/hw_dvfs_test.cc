@@ -1,0 +1,145 @@
+#include "hw/dvfs.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/profiles.h"
+#include "sim/process.h"
+
+namespace wimpy::hw {
+namespace {
+
+sim::Process BurnOneCore(ServerNode& node, double seconds_at_full) {
+  co_await node.Compute(node.cpu().spec().dmips_per_thread *
+                        seconds_at_full);
+}
+
+TEST(DvfsTest, PerformancePolicyKeepsNominalSpeed) {
+  sim::Scheduler sched;
+  ServerNode node(&sched, DellR620Profile(), 0);
+  DvfsGovernor governor(&node,
+                        DefaultDvfsConfig(GovernorPolicy::kPerformance));
+  governor.Start();
+  sim::Spawn(sched, BurnOneCore(node, 10.0));
+  sched.Run();
+  EXPECT_NEAR(sched.now(), 10.0, 1e-6);
+  EXPECT_EQ(governor.current_pstate(), 0);
+}
+
+TEST(DvfsTest, PowersaveSlowsWorkAndCutsCpuPower) {
+  sim::Scheduler sched;
+  ServerNode node(&sched, DellR620Profile(), 0);
+  DvfsGovernor governor(&node,
+                        DefaultDvfsConfig(GovernorPolicy::kPowersave));
+  governor.Start();
+  sim::Spawn(sched, BurnOneCore(node, 10.0));
+  sched.Run();
+  // Lowest state is 40% frequency: the same work takes 2.5x longer.
+  EXPECT_NEAR(sched.now(), 25.0, 1e-6);
+  EXPECT_LT(node.power().cpu_dynamic_scale(), 0.3);
+}
+
+TEST(DvfsTest, OndemandRampsUpUnderLoadAndDownWhenIdle) {
+  sim::Scheduler sched;
+  ServerNode node(&sched, DellR620Profile(), 0);
+  DvfsConfig config = DefaultDvfsConfig(GovernorPolicy::kOndemand);
+  DvfsGovernor governor(&node, config);
+  governor.Start();
+  // Idle first: the governor steps down to the slowest state.
+  sched.Run(2.0);
+  EXPECT_EQ(governor.current_pstate(),
+            static_cast<int>(config.pstates.size()) - 1);
+  // Saturate all threads: it must jump back to the top state.
+  for (int i = 0; i < node.cpu().vcores(); ++i) {
+    sim::Spawn(sched, BurnOneCore(node, 5.0));
+  }
+  sched.Run(4.0);
+  EXPECT_EQ(governor.current_pstate(), 0);
+  EXPECT_GE(governor.transitions(), 2);
+  governor.Stop();
+  sched.Run();
+}
+
+TEST(DvfsTest, OndemandIsNearNeutralOnBurstyLoad) {
+  // The §1 critique, part 1: for bursty loads the governor races back to
+  // the top state as soon as a burst lands, so DVFS moves whole-node
+  // energy by only a few percent either way.
+  auto run = [](bool with_dvfs) {
+    sim::Scheduler sched;
+    ServerNode node(&sched, DellR620Profile(), 0);
+    DvfsGovernor governor(&node,
+                          DefaultDvfsConfig(GovernorPolicy::kOndemand));
+    if (with_dvfs) governor.Start();
+    auto duty = [](ServerNode& n) -> sim::Process {
+      for (int i = 0; i < 10; ++i) {
+        co_await n.Compute(n.cpu().spec().dmips_per_thread * 0.4);
+        co_await sim::Delay(n.scheduler(), 9.0);
+      }
+    };
+    sim::Spawn(sched, duty(node));
+    // Energy over a fixed 100 s horizon, regardless of work stretching.
+    Joules at_horizon = 0;
+    sched.ScheduleAt(100.0, [&] {
+      at_horizon = node.power().CumulativeJoules();
+    });
+    sched.Run(100.0);
+    governor.Stop();
+    sched.Run();
+    return at_horizon;
+  };
+  const Joules fixed = run(false);
+  const Joules scaled = run(true);
+  EXPECT_NEAR(scaled, fixed, 0.10 * fixed);
+}
+
+TEST(DvfsTest, PowersaveSavesOnlyMarginallyOnFixedWork) {
+  // The §1 critique, part 2: stretching fixed work across a slower,
+  // longer window trades lower CPU dynamic power against a longer time
+  // at the non-proportional floor — the net never approaches real
+  // proportionality.
+  auto run = [](GovernorPolicy policy) {
+    sim::Scheduler sched;
+    ServerNode node(&sched, DellR620Profile(), 0);
+    DvfsGovernor governor(&node, DefaultDvfsConfig(policy));
+    governor.Start();
+    auto work = [](ServerNode& n) -> sim::Process {
+      for (int t = 0; t < n.cpu().vcores(); ++t) {
+        sim::Spawn(n.scheduler(), [](ServerNode& m) -> sim::Process {
+          co_await m.Compute(m.cpu().spec().dmips_per_thread * 20.0);
+        }(n));
+      }
+      co_return;
+    };
+    sim::Spawn(sched, work(node));
+    // Common 200 s horizon: finish + idle for the fast policy.
+    Joules at_horizon = 0;
+    sched.ScheduleAt(200.0, [&] {
+      at_horizon = node.power().CumulativeJoules();
+    });
+    sched.Run(200.0);
+    governor.Stop();
+    sched.Run();
+    return at_horizon;
+  };
+  const Joules fast = run(GovernorPolicy::kPerformance);
+  const Joules slow = run(GovernorPolicy::kPowersave);
+  // Even with generous cubic V^2 f scaling, the 52 W idle/static floor
+  // bounds whole-node savings to a few percent — far from the
+  // proportionality DVFS promises (§1: best cases reach only ~30%).
+  EXPECT_GT(slow, 0.70 * fast);
+  EXPECT_LT(slow, 1.05 * fast);
+}
+
+TEST(DvfsTest, DvfsCannotBeatIdlePowerFloor) {
+  sim::Scheduler sched;
+  ServerNode node(&sched, DellR620Profile(), 0);
+  DvfsGovernor governor(&node,
+                        DefaultDvfsConfig(GovernorPolicy::kPowersave));
+  governor.Start();
+  sched.ScheduleAt(100.0, [] {});
+  sched.Run();
+  // An idle node draws idle power regardless of P-state.
+  EXPECT_NEAR(node.power().CumulativeJoules(), 52.0 * 100.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace wimpy::hw

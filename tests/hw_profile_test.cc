@@ -1,0 +1,90 @@
+#include "hw/profiles.h"
+
+#include <gtest/gtest.h>
+
+namespace wimpy::hw {
+namespace {
+
+TEST(ProfileTest, EdisonMatchesPaperSection4) {
+  const HardwareProfile p = EdisonProfile();
+  EXPECT_EQ(p.cpu.cores, 2);
+  EXPECT_DOUBLE_EQ(p.cpu.dmips_per_thread, 632.3);
+  EXPECT_DOUBLE_EQ(p.cpu.total_dmips(), 1264.6);
+  EXPECT_EQ(p.memory.total, GB(1));
+  EXPECT_DOUBLE_EQ(ToMbps(p.nic.bandwidth), 100.0);
+  EXPECT_DOUBLE_EQ(p.power.idle, 1.40);
+  EXPECT_DOUBLE_EQ(p.power.busy, 1.68);
+  EXPECT_DOUBLE_EQ(p.unit_cost_usd, 120.0);
+}
+
+TEST(ProfileTest, DellMatchesPaperSection4) {
+  const HardwareProfile p = DellR620Profile();
+  EXPECT_EQ(p.cpu.hardware_threads(), 12);
+  EXPECT_DOUBLE_EQ(p.cpu.dmips_per_thread, 11383.0);
+  EXPECT_EQ(p.memory.total, GB(16));
+  EXPECT_DOUBLE_EQ(ToMbps(p.nic.bandwidth), 1000.0);
+  EXPECT_DOUBLE_EQ(p.power.idle, 52.0);
+  EXPECT_DOUBLE_EQ(p.power.busy, 109.0);
+}
+
+TEST(ProfileTest, MeasuredCpuGapIsAboutOneHundredX) {
+  // §4.1/§7: the whole-node CPU gap is ~100x, an order of magnitude above
+  // the 12x nameplate clock gap.
+  const double gap =
+      DellR620Profile().cpu.total_dmips() / EdisonProfile().cpu.total_dmips();
+  EXPECT_GT(gap, 90.0);
+  EXPECT_LT(gap, 108.0);
+}
+
+TEST(ProfileTest, SingleThreadGapMatchesDhrystone) {
+  const double gap = DellR620Profile().cpu.dmips_per_thread /
+                     EdisonProfile().cpu.dmips_per_thread;
+  EXPECT_NEAR(gap, 18.0, 0.1);  // 11383 / 632.3
+}
+
+TEST(ProfileTest, MemoryBandwidthGapSixteenX) {
+  const double gap = DellR620Profile().memory.peak_bandwidth /
+                     EdisonProfile().memory.peak_bandwidth;
+  EXPECT_NEAR(gap, 16.36, 0.1);  // 36 / 2.2
+}
+
+TEST(ProfileTest, ClusterPowerEndpointsMatchTable3) {
+  const HardwareProfile edison = EdisonProfile();
+  EXPECT_NEAR(35 * edison.power.idle, 49.0, 0.01);
+  EXPECT_NEAR(35 * edison.power.busy, 58.8, 0.01);
+  const HardwareProfile dell = DellR620Profile();
+  EXPECT_NEAR(3 * dell.power.idle, 156.0, 0.01);
+  EXPECT_NEAR(3 * dell.power.busy, 327.0, 0.01);
+}
+
+TEST(ProfileTest, RegistryHasBuiltins) {
+  auto names = ProfileRegistry::Names();
+  EXPECT_GE(names.size(), 3u);
+  auto edison = ProfileRegistry::Get("edison");
+  ASSERT_TRUE(edison.ok());
+  EXPECT_EQ(edison->name, "edison");
+  EXPECT_FALSE(ProfileRegistry::Get("cray-1").ok());
+}
+
+TEST(ProfileTest, RegistryAcceptsCustomProfiles) {
+  HardwareProfile custom = RaspberryPi2Profile();
+  custom.name = "test-board";
+  custom.cpu.cores = 8;
+  ProfileRegistry::Register(custom);
+  auto got = ProfileRegistry::Get("test-board");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->cpu.cores, 8);
+}
+
+TEST(ProfileTest, StorageRatesMatchTable5Ratios) {
+  const auto e = EdisonProfile().storage;
+  const auto d = DellR620Profile().storage;
+  EXPECT_NEAR(d.write_direct / e.write_direct, 5.3, 0.1);
+  EXPECT_NEAR(d.write_buffered / e.write_buffered, 8.9, 0.1);
+  EXPECT_NEAR(d.read_direct / e.read_direct, 4.4, 0.1);
+  EXPECT_NEAR(e.write_latency / d.write_latency, 3.6, 0.1);
+  EXPECT_NEAR(e.read_latency / d.read_latency, 8.4, 0.1);
+}
+
+}  // namespace
+}  // namespace wimpy::hw

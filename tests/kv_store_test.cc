@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "hw/profiles.h"
+#include "kv/experiment.h"
+
+namespace wimpy::kv {
+namespace {
+
+KvExperimentConfig EdisonKv(int nodes) {
+  KvExperimentConfig config;
+  config.node_profile = hw::EdisonProfile();
+  config.node_count = nodes;
+  return config;
+}
+
+TEST(KvExperimentTest, ServesOfferedLoadWellBelowSaturation) {
+  KvExperiment exp(EdisonKv(8));
+  const KvReport report = exp.Measure(500, Seconds(10));
+  EXPECT_NEAR(report.achieved_qps, 500, 75);
+  EXPECT_GT(report.mean_latency, 0);
+  EXPECT_LT(report.mean_latency, Milliseconds(50));
+  EXPECT_GT(report.p99_latency, report.mean_latency);
+  EXPECT_GT(report.store_power, 8 * 1.3);   // at least near idle floor
+  EXPECT_GT(report.queries_per_joule, 10);
+}
+
+TEST(KvExperimentTest, MissesPayStorageLatency) {
+  KvExperimentConfig all_hit = EdisonKv(4);
+  all_hit.store.ram_hit_ratio = 1.0;
+  KvExperimentConfig all_miss = EdisonKv(4);
+  all_miss.store.ram_hit_ratio = 0.0;
+  const KvReport hit = KvExperiment(all_hit).Measure(200, Seconds(8));
+  const KvReport miss = KvExperiment(all_miss).Measure(200, Seconds(8));
+  // A microSD random read costs ~7 ms; RAM hits are far cheaper.
+  EXPECT_GT(miss.mean_latency, hit.mean_latency + Milliseconds(5));
+}
+
+TEST(KvExperimentTest, PutsStressTheLogNotRandomIo) {
+  KvExperimentConfig puts_only = EdisonKv(4);
+  puts_only.get_fraction = 0.0;
+  const KvReport report = KvExperiment(puts_only).Measure(200, Seconds(8));
+  EXPECT_NEAR(report.achieved_qps, 200, 40);
+  // Sequential buffered appends keep puts fast despite the slow card.
+  EXPECT_LT(report.mean_latency, Milliseconds(20));
+}
+
+TEST(KvExperimentTest, FindPeakStopsAtSaturation) {
+  KvExperiment exp(EdisonKv(4));
+  const KvReport peak = exp.FindPeak(250, 64000);
+  EXPECT_GT(peak.achieved_qps, 250);
+  // 4 Edison nodes cannot do 64k lookups/s with 30% SD-card misses.
+  EXPECT_LT(peak.achieved_qps, 64000);
+}
+
+TEST(KvExperimentTest, ReplicationRaisesPutCost) {
+  KvExperimentConfig r1 = EdisonKv(6);
+  r1.get_fraction = 0.0;  // puts only
+  KvExperimentConfig r2 = r1;
+  r2.replication = 2;
+  const KvReport single = KvExperiment(r1).Measure(150, Seconds(8));
+  const KvReport chained = KvExperiment(r2).Measure(150, Seconds(8));
+  // The chain hop adds a wire transfer plus a second append.
+  EXPECT_GT(chained.mean_latency, single.mean_latency * 1.3);
+  EXPECT_NEAR(chained.achieved_qps, single.achieved_qps, 40);
+}
+
+TEST(KvExperimentTest, FailoverKeepsServingWithReplication) {
+  KvExperimentConfig config = EdisonKv(8);
+  config.replication = 2;
+  KvExperiment exp(config);
+  const KvReport report = exp.MeasureWithFailover(400, /*failed_nodes=*/2,
+                                                  Seconds(12));
+  // The ring routes around the two dead nodes: no dropped queries and
+  // near-target throughput.
+  EXPECT_EQ(report.error_rate, 0.0);
+  EXPECT_NEAR(report.achieved_qps, 400, 60);
+}
+
+TEST(KvExperimentTest, AllNodesFailedDropsQueries) {
+  KvExperimentConfig config = EdisonKv(2);
+  KvExperiment exp(config);
+  // Clamped to n-1 = 1 failed; with only one survivor the ring still
+  // serves everything.
+  const KvReport report = exp.MeasureWithFailover(100, 99, Seconds(8));
+  EXPECT_EQ(report.error_rate, 0.0);
+  EXPECT_GT(report.achieved_qps, 50);
+}
+
+TEST(KvExperimentTest, EdisonBeatsDellOnQueriesPerJoule) {
+  // The FAWN headline, at equal offered load per deployment.
+  KvExperimentConfig edison = EdisonKv(8);
+  KvExperimentConfig dell = edison;
+  dell.node_profile = hw::DellR620Profile();
+  dell.node_count = 1;  // capacity-comparable per the paper's 10x rules
+  const KvReport e = KvExperiment(edison).Measure(1500, Seconds(10));
+  const KvReport d = KvExperiment(dell).Measure(1500, Seconds(10));
+  EXPECT_NEAR(e.achieved_qps, d.achieved_qps, 300);
+  EXPECT_GT(e.queries_per_joule, 2.0 * d.queries_per_joule);
+}
+
+}  // namespace
+}  // namespace wimpy::kv

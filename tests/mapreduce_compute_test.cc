@@ -1,0 +1,120 @@
+#include "mapreduce/compute.h"
+
+#include <gtest/gtest.h>
+
+#include "mapreduce/textgen.h"
+
+namespace wimpy::mapreduce {
+namespace {
+
+TEST(TextGenTest, CorpusHasRequestedSizeAndWords) {
+  Rng rng(1);
+  const std::string corpus = GenerateTextCorpus(KB(64), 1000, rng);
+  EXPECT_GE(static_cast<Bytes>(corpus.size()), KB(64));
+  EXPECT_LT(static_cast<Bytes>(corpus.size()), KB(66));
+  EXPECT_NE(corpus.find(' '), std::string::npos);
+  EXPECT_NE(corpus.find('\n'), std::string::npos);
+}
+
+TEST(TextGenTest, LogFileLinesParse) {
+  Rng rng(2);
+  const std::string log = GenerateLogFile(KB(32), 7, rng);
+  EXPECT_EQ(log.substr(0, 8), "2016-02-");
+  EXPECT_NE(log.find(" INFO "), std::string::npos);
+}
+
+TEST(TextGenTest, TeraRecordsAreFixedWidth) {
+  Rng rng(3);
+  const std::string records = GenerateTeraRecords(100, rng);
+  EXPECT_EQ(records.size(), 100u * kTeraRecordBytes);
+}
+
+TEST(WordCountTest, CountsExactly) {
+  std::map<std::string, std::int64_t> counts;
+  const MapStats stats = WordCountMap("the cat and the hat\nthe end\n",
+                                      &counts);
+  EXPECT_EQ(counts["the"], 3);
+  EXPECT_EQ(counts["cat"], 1);
+  EXPECT_EQ(stats.output_records, 7);
+  EXPECT_EQ(stats.distinct_keys, 5);
+  EXPECT_EQ(stats.input_records, 2);
+}
+
+TEST(WordCountTest, StatsOnGeneratedCorpus) {
+  Rng rng(4);
+  const std::string corpus = GenerateTextCorpus(MB(1), 10000, rng);
+  const MapStats stats = WordCountMap(corpus, nullptr);
+  // Map output is larger than the input (the paper's wordcount shuffles
+  // more than it reads) ...
+  EXPECT_GT(stats.OutputRatio(), 1.2);
+  EXPECT_LT(stats.OutputRatio(), 2.2);
+  // ... and a combiner would collapse it dramatically (Zipf vocabulary).
+  EXPECT_LT(stats.CombinerSurvival(), 0.15);
+}
+
+TEST(LogCountTest, ExtractsDateLevelKeys) {
+  std::map<std::string, std::int64_t> counts;
+  const std::string log =
+      "2016-02-01 10:00:00,123 INFO org.apache.Foo: message one\n"
+      "2016-02-01 11:30:00,456 INFO org.apache.Bar: message two\n"
+      "2016-02-02 09:15:00,789 ERROR org.apache.Foo: bad thing\n";
+  const MapStats stats = LogCountMap(log, &counts);
+  EXPECT_EQ(counts["2016-02-01 INFO"], 2);
+  EXPECT_EQ(counts["2016-02-02 ERROR"], 1);
+  EXPECT_EQ(stats.distinct_keys, 2);
+  EXPECT_EQ(stats.input_records, 3);
+}
+
+TEST(LogCountTest, GeneratedLogsHaveFewDistinctKeys) {
+  Rng rng(5);
+  const std::string log = GenerateLogFile(MB(1), 7, rng);
+  const MapStats stats = LogCountMap(log, nullptr);
+  // 7 days x 4 levels = at most 28 keys from ~10k lines.
+  EXPECT_LE(stats.distinct_keys, 28);
+  EXPECT_GT(stats.input_records, 5000);
+  EXPECT_LT(stats.CombinerSurvival(), 0.01);
+  // Much smaller map output than wordcount (paper: "much lighter").
+  EXPECT_LT(stats.OutputRatio(), 0.35);
+}
+
+TEST(TeraSortTest, SortsAndValidates) {
+  Rng rng(6);
+  const std::string records = GenerateTeraRecords(1000, rng);
+  EXPECT_FALSE(TeraValidate(records));  // random order fails validation
+  const std::string sorted = TeraSortRecords(records);
+  EXPECT_EQ(sorted.size(), records.size());
+  EXPECT_TRUE(TeraValidate(sorted));
+}
+
+TEST(TeraSortTest, SortIsPermutation) {
+  Rng rng(7);
+  const std::string records = GenerateTeraRecords(500, rng);
+  std::string sorted = TeraSortRecords(records);
+  // Same multiset of records: sort both byte-wise record lists.
+  auto to_sorted_records = [](std::string_view data) {
+    std::vector<std::string> recs;
+    for (std::size_t i = 0; i + kTeraRecordBytes <= data.size();
+         i += kTeraRecordBytes) {
+      recs.emplace_back(data.substr(i, kTeraRecordBytes));
+    }
+    std::sort(recs.begin(), recs.end());
+    return recs;
+  };
+  EXPECT_EQ(to_sorted_records(records), to_sorted_records(sorted));
+}
+
+TEST(PiTest, EstimateConverges) {
+  Rng rng(8);
+  const PiResult result = EstimatePi(2000000, rng);
+  EXPECT_NEAR(result.estimate, 3.14159, 0.01);
+  EXPECT_EQ(result.samples, 2000000);
+}
+
+TEST(PiTest, ZeroSamplesSafe) {
+  Rng rng(9);
+  const PiResult result = EstimatePi(0, rng);
+  EXPECT_EQ(result.estimate, 0.0);
+}
+
+}  // namespace
+}  // namespace wimpy::mapreduce

@@ -1,0 +1,40 @@
+#include "mapreduce/tera_pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace wimpy::mapreduce {
+namespace {
+
+TEST(TeraPipelineTest, SpecsHaveStageShapes) {
+  const auto config = TeraSortClusterConfig(EdisonMrCluster(8));
+  const JobSpec gen = TeraGenJob(config);
+  EXPECT_EQ(gen.input_files, 0);
+  EXPECT_GT(gen.synthetic_map_tasks, 100);
+  EXPECT_EQ(gen.reducers, 0);
+  const JobSpec validate = TeraValidateJob(config);
+  EXPECT_EQ(validate.input_prefix, "terasort-out");
+  EXPECT_EQ(validate.input_files, TotalVcores(config));
+  EXPECT_EQ(validate.reducers, 1);
+}
+
+TEST(TeraPipelineTest, ThreeStagesRunInOrder) {
+  // Scaled-down cluster; full 10 GB data (block-granular inputs).
+  MrTestbed testbed(TeraSortClusterConfig(EdisonMrCluster(8)));
+  const TeraPipelineResult result = RunTeraPipeline(&testbed);
+  EXPECT_GT(result.teragen.job.elapsed, 0);
+  EXPECT_GT(result.terasort.job.elapsed, 0);
+  EXPECT_GT(result.teravalidate.job.elapsed, 0);
+  // The sort dominates; validation is a cheap scan.
+  EXPECT_GT(result.terasort.job.elapsed,
+            result.teravalidate.job.elapsed);
+  EXPECT_GT(result.terasort.slave_joules,
+            result.teravalidate.slave_joules);
+  // Stages ran back to back on one simulated clock.
+  EXPECT_GE(result.terasort.job.started,
+            result.teragen.job.finished - 1e-9);
+  EXPECT_GE(result.teravalidate.job.started,
+            result.terasort.job.finished - 1e-9);
+}
+
+}  // namespace
+}  // namespace wimpy::mapreduce

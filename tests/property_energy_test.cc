@@ -1,0 +1,119 @@
+// Property tests for energy accounting and power envelopes, swept across
+// hardware profiles and load levels:
+//   * energy equals the exact integral of the piecewise-constant power;
+//   * power always stays inside the [idle, busy] envelope;
+//   * more work never costs less energy on the same node (monotonicity);
+//   * idle power accrues even with zero work.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "hw/profiles.h"
+#include "hw/server_node.h"
+#include "sim/process.h"
+#include "sim/scheduler.h"
+
+namespace wimpy::hw {
+namespace {
+
+using EnergyCase = std::tuple<std::string, double>;  // profile, load level
+
+class EnergyProperty : public ::testing::TestWithParam<EnergyCase> {
+ protected:
+  HardwareProfile Profile() const {
+    auto p = ProfileRegistry::Get(std::get<0>(GetParam()));
+    EXPECT_TRUE(p.ok());
+    return *p;
+  }
+  double LoadLevel() const { return std::get<1>(GetParam()); }
+};
+
+sim::Process DutyCycle(hw::ServerNode& node, double busy_fraction,
+                       int cycles, double period) {
+  // Alternate busy/idle with the given duty cycle on one core.
+  for (int i = 0; i < cycles; ++i) {
+    const double busy_time = period * busy_fraction;
+    if (busy_time > 0) {
+      co_await node.Compute(node.cpu().spec().dmips_per_thread * busy_time);
+    }
+    co_await sim::Delay(node.scheduler(), period - busy_time);
+  }
+}
+
+TEST_P(EnergyProperty, EnergyMatchesAnalyticIntegral) {
+  sim::Scheduler sched;
+  ServerNode node(&sched, Profile(), 0);
+  const double duty = LoadLevel();
+  sim::Spawn(sched, DutyCycle(node, duty, 10, 2.0));
+  sched.Run();
+  const double runtime = sched.now();
+  ASSERT_NEAR(runtime, 20.0, 1e-6);
+  // One core of N busy for duty fraction of the time.
+  const auto& p = Profile().power;
+  const double core_fraction =
+      Profile().cpu.dmips_per_thread / Profile().cpu.total_dmips();
+  const double busy_watts =
+      p.idle + (p.busy - p.idle) * p.cpu_weight * core_fraction;
+  const double expected =
+      runtime * (duty * busy_watts + (1 - duty) * p.idle);
+  EXPECT_NEAR(node.power().CumulativeJoules(), expected,
+              expected * 1e-6 + 1e-9);
+}
+
+TEST_P(EnergyProperty, PowerStaysInsideEnvelope) {
+  sim::Scheduler sched;
+  ServerNode node(&sched, Profile(), 0);
+  sim::Spawn(sched, DutyCycle(node, LoadLevel(), 5, 1.0));
+  // Sample power at random instants during the run.
+  for (double t = 0.25; t < 5.0; t += 0.5) {
+    sched.Run(t);
+    EXPECT_GE(node.power().current_watts(),
+              Profile().power.idle - 1e-12);
+    EXPECT_LE(node.power().current_watts(),
+              Profile().power.busy + 1e-12);
+  }
+  sched.Run();
+}
+
+TEST_P(EnergyProperty, MoreWorkNeverCostsLessEnergy) {
+  const double duty = LoadLevel();
+  auto run = [&](double d) {
+    sim::Scheduler sched;
+    ServerNode node(&sched, Profile(), 0);
+    sim::Spawn(sched, DutyCycle(node, d, 10, 2.0));
+    sched.Run();
+    // Compare over the same 20 s horizon.
+    return node.power().CumulativeJoules();
+  };
+  const double lighter = run(duty * 0.5);
+  const double heavier = run(duty);
+  EXPECT_GE(heavier + 1e-9, lighter);
+}
+
+TEST_P(EnergyProperty, IdleEnergyAccrues) {
+  sim::Scheduler sched;
+  ServerNode node(&sched, Profile(), 0);
+  sched.ScheduleAt(100.0, [] {});
+  sched.Run();
+  EXPECT_NEAR(node.power().CumulativeJoules(),
+              Profile().power.idle * 100.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProfileLoadSweep, EnergyProperty,
+    ::testing::Combine(::testing::Values("edison", "dell-r620",
+                                         "raspberry-pi-2"),
+                       ::testing::Values(0.0, 0.25, 0.5, 1.0)),
+    [](const ::testing::TestParamInfo<EnergyCase>& info) {
+      std::string name = std::get<0>(info.param) + "_load" +
+                         std::to_string(static_cast<int>(
+                             std::get<1>(info.param) * 100));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace wimpy::hw

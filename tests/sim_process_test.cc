@@ -1,0 +1,177 @@
+#include "sim/process.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "sim/wait_queue.h"
+
+namespace wimpy::sim {
+namespace {
+
+Process Sleeper(Scheduler& sched, Duration d, double* woke_at) {
+  co_await Delay(sched, d);
+  *woke_at = sched.now();
+}
+
+TEST(ProcessTest, DelayAdvancesVirtualTime) {
+  Scheduler sched;
+  double woke_at = -1;
+  Spawn(sched, Sleeper(sched, 2.5, &woke_at));
+  sched.Run();
+  EXPECT_EQ(woke_at, 2.5);
+}
+
+Process MultiSleep(Scheduler& sched, std::vector<double>* times) {
+  for (int i = 0; i < 3; ++i) {
+    co_await Delay(sched, 1.0);
+    times->push_back(sched.now());
+  }
+}
+
+TEST(ProcessTest, SequentialDelaysAccumulate) {
+  Scheduler sched;
+  std::vector<double> times;
+  Spawn(sched, MultiSleep(sched, &times));
+  sched.Run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(ProcessTest, JoinWaitsForCompletion) {
+  Scheduler sched;
+  double woke_at = -1;
+  double joined_at = -1;
+  auto ref = Spawn(sched, Sleeper(sched, 4.0, &woke_at));
+  auto joiner = [](Scheduler& s, ProcessRef target,
+                   double* t) -> Process {
+    co_await target.Join();
+    *t = s.now();
+  };
+  Spawn(sched, joiner(sched, ref, &joined_at));
+  sched.Run();
+  EXPECT_EQ(joined_at, 4.0);
+  EXPECT_TRUE(ref.done());
+}
+
+TEST(ProcessTest, JoinAfterCompletionResumesImmediately) {
+  Scheduler sched;
+  double woke_at = -1;
+  auto ref = Spawn(sched, Sleeper(sched, 1.0, &woke_at));
+  sched.Run();
+  ASSERT_TRUE(ref.done());
+  double joined_at = -1;
+  auto joiner = [](Scheduler& s, ProcessRef target,
+                   double* t) -> Process {
+    co_await target.Join();
+    *t = s.now();
+  };
+  Spawn(sched, joiner(sched, ref, &joined_at));
+  sched.Run();
+  EXPECT_EQ(joined_at, 1.0);  // clock did not advance further
+}
+
+TEST(ProcessTest, MultipleJoinersAllWake) {
+  Scheduler sched;
+  double woke_at = -1;
+  auto ref = Spawn(sched, Sleeper(sched, 2.0, &woke_at));
+  int joined = 0;
+  auto joiner = [](ProcessRef target, int* n) -> Process {
+    co_await target.Join();
+    ++*n;
+  };
+  for (int i = 0; i < 5; ++i) Spawn(sched, joiner(ref, &joined));
+  sched.Run();
+  EXPECT_EQ(joined, 5);
+}
+
+TEST(ProcessTest, UnspawnedProcessDestroysCleanly) {
+  Scheduler sched;
+  double woke_at = -1;
+  {
+    Process p = Sleeper(sched, 1.0, &woke_at);
+    // never spawned
+  }
+  sched.Run();
+  EXPECT_EQ(woke_at, -1);
+}
+
+TEST(ProcessTest, SpawnDoesNotRunInline) {
+  Scheduler sched;
+  double woke_at = -1;
+  Spawn(sched, Sleeper(sched, 0.0, &woke_at));
+  EXPECT_EQ(woke_at, -1);  // runs only once the scheduler is pumped
+  sched.Run();
+  EXPECT_EQ(woke_at, 0.0);
+}
+
+Process Producer(Scheduler& sched, WaitQueue<int>& queue, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await Delay(sched, 1.0);
+    queue.Push(i);
+  }
+}
+
+Process Consumer(WaitQueue<int>& queue, int n, std::vector<int>* out,
+                 Scheduler& sched, std::vector<double>* at) {
+  for (int i = 0; i < n; ++i) {
+    int v = co_await queue.Get();
+    out->push_back(v);
+    at->push_back(sched.now());
+  }
+}
+
+TEST(ProcessTest, WaitQueueDeliversInOrderAcrossTime) {
+  Scheduler sched;
+  WaitQueue<int> queue(&sched);
+  std::vector<int> got;
+  std::vector<double> at;
+  Spawn(sched, Consumer(queue, 3, &got, sched, &at));
+  Spawn(sched, Producer(sched, queue, 3));
+  sched.Run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(at, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(ProcessTest, WaitQueueBuffersWhenNoConsumer) {
+  Scheduler sched;
+  WaitQueue<int> queue(&sched);
+  queue.Push(7);
+  queue.Push(8);
+  EXPECT_EQ(queue.size(), 2u);
+  std::vector<int> got;
+  std::vector<double> at;
+  Spawn(sched, Consumer(queue, 2, &got, sched, &at));
+  sched.Run();
+  EXPECT_EQ(got, (std::vector<int>{7, 8}));
+  EXPECT_EQ(queue.peak_depth(), 2u);
+}
+
+TEST(ProcessTest, WaitQueueMultipleConsumersFifo) {
+  Scheduler sched;
+  WaitQueue<int> queue(&sched);
+  std::vector<int> got_a, got_b;
+  std::vector<double> at;
+  Spawn(sched, Consumer(queue, 1, &got_a, sched, &at));
+  Spawn(sched, Consumer(queue, 1, &got_b, sched, &at));
+  sched.ScheduleAt(1.0, [&] {
+    queue.Push(100);
+    queue.Push(200);
+  });
+  sched.Run();
+  EXPECT_EQ(got_a, (std::vector<int>{100}));  // first waiter gets first item
+  EXPECT_EQ(got_b, (std::vector<int>{200}));
+}
+
+TEST(ProcessTest, TryGetDoesNotBlock) {
+  Scheduler sched;
+  WaitQueue<int> queue(&sched);
+  EXPECT_FALSE(queue.TryGet().has_value());
+  queue.Push(1);
+  auto v = queue.TryGet();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 1);
+}
+
+}  // namespace
+}  // namespace wimpy::sim

@@ -1,0 +1,142 @@
+// Differential testing of FairShareServer against an independent,
+// brute-force reference implementation of generalised processor sharing
+// with a per-job cap.
+//
+// The reference advances time by direct minimum-finding over explicit
+// remaining-work values (the O(n)-per-event formulation the production
+// server replaced with an aggregate counter + heap). Random workloads are
+// run through both; completion times must agree to floating-point
+// tolerance. This guards the exact invariant the optimised implementation
+// could silently break.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+#include "sim/fair_share.h"
+#include "sim/process.h"
+#include "sim/scheduler.h"
+
+namespace wimpy::sim {
+namespace {
+
+struct ArrivalPlan {
+  double at;
+  double demand;
+};
+
+// Brute-force GPS-with-cap: returns completion time per job.
+std::vector<double> ReferenceCompletionTimes(
+    const std::vector<ArrivalPlan>& plan, double capacity,
+    double per_job_cap) {
+  struct Job {
+    double remaining;
+    std::size_t index;
+  };
+  std::vector<double> completion(plan.size(), -1);
+  std::vector<Job> active;
+  std::size_t next_arrival = 0;
+  // Process arrivals in time order.
+  std::vector<std::size_t> order(plan.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return plan[a].at < plan[b].at;
+  });
+
+  double now = 0;
+  while (next_arrival < order.size() || !active.empty()) {
+    const double rate =
+        active.empty()
+            ? 0.0
+            : std::min(per_job_cap,
+                       capacity / static_cast<double>(active.size()));
+    // Next event: either an arrival or the soonest completion.
+    double next_time = std::numeric_limits<double>::infinity();
+    bool is_arrival = false;
+    if (next_arrival < order.size()) {
+      next_time = plan[order[next_arrival]].at;
+      is_arrival = true;
+    }
+    if (!active.empty()) {
+      double min_remaining = active.front().remaining;
+      for (const auto& job : active) {
+        min_remaining = std::min(min_remaining, job.remaining);
+      }
+      const double eta = now + min_remaining / rate;
+      if (eta < next_time) {
+        next_time = eta;
+        is_arrival = false;
+      }
+    }
+    // Advance all active jobs to next_time.
+    const double dt = next_time - now;
+    for (auto& job : active) job.remaining -= rate * dt;
+    now = next_time;
+    if (is_arrival) {
+      active.push_back(
+          Job{plan[order[next_arrival]].demand, order[next_arrival]});
+      ++next_arrival;
+    }
+    // Retire finished jobs.
+    for (auto it = active.begin(); it != active.end();) {
+      if (it->remaining <= 1e-7) {
+        completion[it->index] = now;
+        it = active.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return completion;
+}
+
+sim::Process RunOne(FairShareServer& server, Scheduler& sched,
+                    ArrivalPlan plan, double* done_at) {
+  co_await Delay(sched, plan.at);
+  co_await server.Serve(plan.demand);
+  *done_at = sched.now();
+}
+
+class ReferenceModelProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReferenceModelProperty, MatchesBruteForceGps) {
+  Rng rng(1000 + GetParam());
+  const double capacity = rng.Uniform(1.0, 100.0);
+  // Mix of pure-PS and capped configurations.
+  const double per_job_cap =
+      GetParam() % 2 == 0 ? capacity : capacity / rng.Uniform(2.0, 8.0);
+  const int jobs = static_cast<int>(rng.UniformInt(3, 40));
+
+  std::vector<ArrivalPlan> plan;
+  for (int i = 0; i < jobs; ++i) {
+    plan.push_back(
+        ArrivalPlan{rng.Uniform(0.0, 20.0), rng.Uniform(0.1, 50.0)});
+  }
+
+  const std::vector<double> expected =
+      ReferenceCompletionTimes(plan, capacity, per_job_cap);
+
+  Scheduler sched;
+  FairShareServer server(&sched, capacity, per_job_cap);
+  std::vector<double> actual(plan.size(), -1);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    Spawn(sched, RunOne(server, sched, plan[i], &actual[i]));
+  }
+  sched.Run();
+
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    ASSERT_GE(actual[i], 0) << "job " << i << " never finished";
+    EXPECT_NEAR(actual[i], expected[i],
+                1e-6 * std::max(1.0, expected[i]))
+        << "job " << i << " (capacity " << capacity << ", cap "
+        << per_job_cap << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWorkloads, ReferenceModelProperty,
+                         ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace wimpy::sim

@@ -1,0 +1,132 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wimpy::sim {
+namespace {
+
+TEST(SchedulerTest, StartsAtZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), 0.0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SchedulerTest, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.ScheduleAt(2.0, [&] { order.push_back(2); });
+  s.ScheduleAt(1.0, [&] { order.push_back(1); });
+  s.ScheduleAt(3.0, [&] { order.push_back(3); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 3.0);
+}
+
+TEST(SchedulerTest, SameTimeEventsRunFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.ScheduleAt(1.0, [&order, i] { order.push_back(i); });
+  }
+  s.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SchedulerTest, ScheduleAfterUsesCurrentTime) {
+  Scheduler s;
+  double fired_at = -1;
+  s.ScheduleAt(5.0, [&] {
+    s.ScheduleAfter(2.5, [&] { fired_at = s.now(); });
+  });
+  s.Run();
+  EXPECT_EQ(fired_at, 7.5);
+}
+
+TEST(SchedulerTest, PastTimesClampToNow) {
+  Scheduler s;
+  double fired_at = -1;
+  s.ScheduleAt(5.0, [&] {
+    s.ScheduleAt(1.0, [&] { fired_at = s.now(); });
+  });
+  s.Run();
+  EXPECT_EQ(fired_at, 5.0);
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler s;
+  int fired = 0;
+  EventId id = s.ScheduleAt(1.0, [&] { ++fired; });
+  s.ScheduleAt(2.0, [&] { ++fired; });
+  EXPECT_TRUE(s.Cancel(id));
+  EXPECT_FALSE(s.Cancel(id));  // double cancel fails
+  s.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SchedulerTest, CancelUnknownIdFails) {
+  Scheduler s;
+  EXPECT_FALSE(s.Cancel(0));
+  EXPECT_FALSE(s.Cancel(999));
+}
+
+TEST(SchedulerTest, RunUntilStopsClock) {
+  Scheduler s;
+  int fired = 0;
+  s.ScheduleAt(1.0, [&] { ++fired; });
+  s.ScheduleAt(10.0, [&] { ++fired; });
+  s.Run(/*until=*/5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 5.0);
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), 10.0);
+}
+
+TEST(SchedulerTest, RunUntilInThePastDoesNotRewindClock) {
+  Scheduler s;
+  s.ScheduleAt(5.0, [] {});
+  s.Run();
+  EXPECT_EQ(s.now(), 5.0);
+  s.ScheduleAt(9.0, [] {});
+  s.Run(/*until=*/1.0);
+  EXPECT_EQ(s.now(), 5.0);
+}
+
+TEST(SchedulerTest, MaxEventsBudget) {
+  Scheduler s;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) s.ScheduleAt(i, [&] { ++fired; });
+  s.Run(std::numeric_limits<SimTime>::infinity(), 10);
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(s.pending_events(), 90u);
+}
+
+TEST(SchedulerTest, EventsCanScheduleMoreEvents) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 50) s.ScheduleAfter(1.0, chain);
+  };
+  s.ScheduleAt(0.0, chain);
+  s.Run();
+  EXPECT_EQ(depth, 50);
+  EXPECT_EQ(s.now(), 49.0);
+  EXPECT_EQ(s.executed_events(), 50u);
+}
+
+TEST(SchedulerTest, StepExecutesExactlyOne) {
+  Scheduler s;
+  int fired = 0;
+  s.ScheduleAt(1.0, [&] { ++fired; });
+  s.ScheduleAt(2.0, [&] { ++fired; });
+  EXPECT_TRUE(s.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.Step());
+  EXPECT_FALSE(s.Step());
+}
+
+}  // namespace
+}  // namespace wimpy::sim

@@ -1,0 +1,104 @@
+#include "sim/task.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fair_share.h"
+#include "sim/process.h"
+#include "sim/scheduler.h"
+
+namespace wimpy::sim {
+namespace {
+
+Task<int> Immediate(int v) { co_return v; }
+
+Task<int> AddAfterDelay(Scheduler& sched, int a, int b) {
+  co_await Delay(sched, 1.0);
+  co_return a + b;
+}
+
+Process Driver(Scheduler& sched, std::vector<int>* out) {
+  out->push_back(co_await Immediate(5));
+  out->push_back(co_await AddAfterDelay(sched, 2, 3));
+  out->push_back(static_cast<int>(sched.now()));
+}
+
+TEST(TaskTest, TasksComposeInsideProcesses) {
+  Scheduler sched;
+  std::vector<int> out;
+  Spawn(sched, Driver(sched, &out));
+  sched.Run();
+  EXPECT_EQ(out, (std::vector<int>{5, 5, 1}));
+}
+
+Task<void> VoidStep(Scheduler& sched, double d, int* counter) {
+  co_await Delay(sched, d);
+  ++*counter;
+}
+
+Process VoidDriver(Scheduler& sched, int* counter) {
+  co_await VoidStep(sched, 1.0, counter);
+  co_await VoidStep(sched, 2.0, counter);
+}
+
+TEST(TaskTest, VoidTasksSequence) {
+  Scheduler sched;
+  int counter = 0;
+  Spawn(sched, VoidDriver(sched, &counter));
+  sched.Run();
+  EXPECT_EQ(counter, 2);
+  EXPECT_EQ(sched.now(), 3.0);
+}
+
+Task<int> Fib(int n) {
+  if (n <= 1) co_return n;
+  const int a = co_await Fib(n - 1);
+  const int b = co_await Fib(n - 2);
+  co_return a + b;
+}
+
+Process FibDriver(int n, int* out) { *out = co_await Fib(n); }
+
+TEST(TaskTest, DeepRecursiveChainsViaSymmetricTransfer) {
+  Scheduler sched;
+  int out = 0;
+  Spawn(sched, FibDriver(18, &out));
+  sched.Run();
+  EXPECT_EQ(out, 2584);
+}
+
+TEST(TaskTest, UnawaitedTaskIsFreedSafely) {
+  int counter = 0;
+  {
+    Scheduler sched;
+    auto t = VoidStep(sched, 1.0, &counter);
+    // dropped without awaiting
+  }
+  EXPECT_EQ(counter, 0);
+}
+
+Task<double> ServeAndReport(FairShareServer& server, double demand,
+                            Scheduler& sched) {
+  co_await server.Serve(demand);
+  co_return sched.now();
+}
+
+Process MixedDriver(Scheduler& sched, FairShareServer& server,
+                    std::vector<double>* out) {
+  out->push_back(co_await ServeAndReport(server, 10.0, sched));
+  out->push_back(co_await ServeAndReport(server, 20.0, sched));
+}
+
+TEST(TaskTest, TasksInteroperateWithResources) {
+  Scheduler sched;
+  FairShareServer server(&sched, 10.0);
+  std::vector<double> out;
+  Spawn(sched, MixedDriver(sched, server, &out));
+  sched.Run();
+  EXPECT_NEAR(out[0], 1.0, 1e-9);
+  EXPECT_NEAR(out[1], 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace wimpy::sim

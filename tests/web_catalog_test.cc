@@ -1,0 +1,71 @@
+#include "web/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace wimpy::web {
+namespace {
+
+TEST(TableCatalogTest, PaperCatalogHasFifteenTables) {
+  const TableCatalog catalog = TableCatalog::PaperCatalog(0.10);
+  EXPECT_EQ(catalog.tables().size(), 15u);
+  int image_tables = 0;
+  for (const auto& t : catalog.tables()) image_tables += t.has_image_blob;
+  EXPECT_EQ(image_tables, 4);
+}
+
+TEST(TableCatalogTest, ImageProbabilityMatchesRequest) {
+  for (double f : {0.0, 0.06, 0.10, 0.20}) {
+    const TableCatalog catalog = TableCatalog::PaperCatalog(f);
+    EXPECT_NEAR(catalog.ImageProbability(), f, 1e-9) << f;
+  }
+}
+
+TEST(TableCatalogTest, SampledImageFractionMatches) {
+  Rng rng(3);
+  const TableCatalog catalog = TableCatalog::PaperCatalog(0.20);
+  int images = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    images += catalog.Sample(0.93, rng).is_image;
+  }
+  EXPECT_NEAR(static_cast<double>(images) / n, 0.20, 0.01);
+}
+
+class CatalogReplySizeTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(CatalogReplySizeTest, MeanReplySizeTracksPaperColumn) {
+  // §5.1.1: average reply sizes 1.5 / 3.8 / 5.8 / 10 KB at image
+  // fractions 0 / 6 / 10 / 20%.
+  const auto [image_fraction, paper_kb] = GetParam();
+  const TableCatalog catalog = TableCatalog::PaperCatalog(image_fraction);
+  EXPECT_NEAR(catalog.MeanReplyBytes() / 1000.0, paper_kb,
+              paper_kb * 0.18);
+  // Sampled mean agrees with the analytic mean.
+  Rng rng(7);
+  double sum = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(catalog.Sample(0.93, rng).reply_bytes);
+  }
+  EXPECT_NEAR(sum / n, catalog.MeanReplyBytes(),
+              catalog.MeanReplyBytes() * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperPoints, CatalogReplySizeTest,
+                         ::testing::Values(std::make_pair(0.0, 1.5),
+                                           std::make_pair(0.06, 3.8),
+                                           std::make_pair(0.10, 5.8),
+                                           std::make_pair(0.20, 10.0)));
+
+TEST(TableCatalogTest, CacheHitRatioPassesThrough) {
+  Rng rng(11);
+  const TableCatalog catalog = TableCatalog::PaperCatalog(0.0);
+  int hits = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) hits += catalog.Sample(0.77, rng).cache_hit;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.77, 0.01);
+}
+
+}  // namespace
+}  // namespace wimpy::web

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "web/service.h"
+
+namespace wimpy::web {
+namespace {
+
+// Paper §1, advantage 2: node failure hurts a large micro-server fleet far
+// less than a small brawny fleet, because the redistributed share is
+// proportionally tiny.
+
+TEST(WebFailureTest, LosingOneOfManyEdisonsBarelyMoves) {
+  WebExperiment exp(EdisonWebTestbed(12, 6));
+  const auto report = exp.MeasureWithFailure(
+      LightMix(), /*concurrency=*/128, /*calls=*/8, /*failed_servers=*/1,
+      Seconds(2), Seconds(8));
+  ASSERT_EQ(report.total_servers, 12);
+  ASSERT_EQ(report.failed_servers, 1);
+  EXPECT_GT(report.before.achieved_rps, 0);
+  // Redistribution of 1/12 of the load: throughput within ~15%.
+  EXPECT_GT(report.after.achieved_rps, 0.85 * report.before.achieved_rps);
+  EXPECT_LT(report.after.error_rate, 0.10);
+}
+
+TEST(WebFailureTest, LosingOneOfTwoDellsDoublesLoad) {
+  // Offer a load the pair handles but a single survivor cannot
+  // (2-server capacity ~17k rps; survivor ~8.5k; offered ~11k).
+  WebExperiment exp(DellWebTestbed(2, 1));
+  const auto report = exp.MeasureWithFailure(
+      LightMix(), /*concurrency=*/800, /*calls=*/14, /*failed_servers=*/1,
+      Seconds(2), Seconds(8));
+  ASSERT_EQ(report.total_servers, 2);
+  EXPECT_GT(report.before.achieved_rps, 0);
+  // The survivor takes 100% extra load: latency degrades sharply.
+  EXPECT_GT(report.after.mean_response,
+            1.5 * report.before.mean_response);
+}
+
+TEST(WebFailureTest, FailingZeroServersChangesNothingMuch) {
+  WebExperiment exp(EdisonWebTestbed(6, 3));
+  const auto report = exp.MeasureWithFailure(LightMix(), 64, 8, 0,
+                                             Seconds(2), Seconds(6));
+  EXPECT_EQ(report.failed_servers, 0);
+  EXPECT_NEAR(report.after.achieved_rps, report.before.achieved_rps,
+              0.25 * report.before.achieved_rps + 20);
+}
+
+TEST(WebFailureTest, FailureCountIsClampedToLeaveOneServer) {
+  WebExperiment exp(EdisonWebTestbed(3, 2));
+  const auto report = exp.MeasureWithFailure(LightMix(), 32, 4, 99,
+                                             Seconds(2), Seconds(5));
+  EXPECT_EQ(report.failed_servers, 2);  // 3 servers -> at most 2 fail
+  EXPECT_GT(report.after.achieved_rps, 0);  // survivor still serves
+}
+
+}  // namespace
+}  // namespace wimpy::web

@@ -1,0 +1,61 @@
+// Parameterised scaling properties of the web tier — the paper's central
+// "linear scale-up" claim (§5.1.2 observation 1/4), checked as invariants
+// across the Table 6 ladder.
+#include <gtest/gtest.h>
+
+#include "web/service.h"
+
+namespace wimpy::web {
+namespace {
+
+struct ScaleCase {
+  int web_servers;
+  int cache_servers;
+};
+
+class WebScalingProperty : public ::testing::TestWithParam<ScaleCase> {};
+
+// Offered load proportional to cluster size; all sizes should serve it
+// with low errors (the "comfortable" regime).
+TEST_P(WebScalingProperty, ProportionalLoadIsServedCleanly) {
+  const ScaleCase scale = GetParam();
+  WebExperiment exp(EdisonWebTestbed(scale.web_servers,
+                                     scale.cache_servers));
+  const double conc = 16.0 * scale.web_servers;
+  const LevelReport r =
+      exp.MeasureClosedLoop(LightMix(), conc, 8, Seconds(2), Seconds(8));
+  EXPECT_NEAR(r.achieved_rps, conc * 8, conc * 8 * 0.2);
+  EXPECT_LT(r.error_rate, 0.02);
+  // Per-server throughput is scale-invariant in this regime.
+  const double per_server = r.achieved_rps / scale.web_servers;
+  EXPECT_NEAR(per_server, 128, 40);
+}
+
+// Saturation capacity grows with the ladder.
+TEST_P(WebScalingProperty, CapacityScalesWithWebServers) {
+  const ScaleCase scale = GetParam();
+  if (scale.web_servers < 6) return;  // compare against the half size
+  auto peak = [](int web, int cache) {
+    WebExperiment exp(EdisonWebTestbed(web, cache));
+    const double conc = 40.0 * web;  // deep saturation
+    const LevelReport r =
+        exp.MeasureClosedLoop(LightMix(), conc, 8, Seconds(2), Seconds(8));
+    return r.achieved_rps;
+  };
+  const double full = peak(scale.web_servers, scale.cache_servers);
+  const double half =
+      peak(scale.web_servers / 2, std::max(2, scale.cache_servers / 2));
+  EXPECT_GT(full, 1.6 * half);
+  EXPECT_LT(full, 2.6 * half);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table6Ladder, WebScalingProperty,
+    ::testing::Values(ScaleCase{3, 2}, ScaleCase{6, 3}, ScaleCase{12, 6},
+                      ScaleCase{24, 11}),
+    [](const ::testing::TestParamInfo<ScaleCase>& info) {
+      return "web" + std::to_string(info.param.web_servers);
+    });
+
+}  // namespace
+}  // namespace wimpy::web

@@ -1,0 +1,112 @@
+#include "web/service.h"
+
+#include <gtest/gtest.h>
+
+#include "web/workload.h"
+
+namespace wimpy::web {
+namespace {
+
+TEST(WorkloadMixTest, MeanReplySizesMatchPaper) {
+  // §5.1.1: average reply sizes 1.5 / 3.8 / 5.8 / 10 KB at 0/6/10/20%.
+  EXPECT_NEAR(LightMix().MeanReplyBytes(), 1500, 50);
+  EXPECT_NEAR(MixWithImagePercent(0.06).MeanReplyBytes(), 3800, 300);
+  EXPECT_NEAR(MixWithImagePercent(0.10).MeanReplyBytes(), 5750, 300);
+  EXPECT_NEAR(HeavyMix().MeanReplyBytes(), 10000, 500);
+}
+
+TEST(WorkloadMixTest, SampleRespectsProbabilities) {
+  Rng rng(7);
+  const WorkloadMix mix = HeavyMix();
+  int images = 0, hits = 0;
+  const int n = 20000;
+  double reply_sum = 0;
+  for (int i = 0; i < n; ++i) {
+    const RequestSpec spec = mix.Sample(rng);
+    images += spec.is_image;
+    hits += spec.cache_hit;
+    reply_sum += static_cast<double>(spec.reply_bytes);
+    EXPECT_GE(spec.reply_bytes, 128);
+  }
+  EXPECT_NEAR(images / static_cast<double>(n), 0.20, 0.01);
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.93, 0.01);
+  EXPECT_NEAR(reply_sum / n, mix.MeanReplyBytes(), 500);
+}
+
+TEST(WebExperimentTest, TunedCallsFollowPaperPolicy) {
+  // More calls per connection at low concurrency, fewer at high.
+  EXPECT_EQ(WebExperiment::TunedCallsPerConnection(8), 14);
+  EXPECT_EQ(WebExperiment::TunedCallsPerConnection(512), 14);
+  EXPECT_EQ(WebExperiment::TunedCallsPerConnection(1024), 7);
+  EXPECT_EQ(WebExperiment::TunedCallsPerConnection(2048), 4);
+}
+
+TEST(WebExperimentTest, LowConcurrencyDeliversOfferedLoad) {
+  WebExperiment exp(EdisonWebTestbed(6, 3));
+  const LevelReport report =
+      exp.MeasureClosedLoop(LightMix(), 32, 8, Seconds(2), Seconds(10));
+  // Offered: 32 conn/s x 8 calls = 256 rps; the cluster is far from
+  // saturation, so throughput tracks the offered load.
+  EXPECT_NEAR(report.achieved_rps, 256, 40);
+  EXPECT_LT(report.error_rate, 0.01);
+  EXPECT_GT(report.mean_response, 0);
+  EXPECT_LT(report.mean_response, Milliseconds(100));
+  EXPECT_GT(report.middle_tier_power, 0);
+}
+
+TEST(WebExperimentTest, OverloadProducesServerErrors) {
+  // 3 web servers offered ~25x their capacity.
+  WebExperiment exp(EdisonWebTestbed(3, 2));
+  const LevelReport report =
+      exp.MeasureClosedLoop(LightMix(), 2048, 14, Seconds(2), Seconds(8));
+  EXPECT_GT(report.error_rate, 0.2);
+  EXPECT_LT(report.achieved_rps, 2048 * 14 * 0.5);
+}
+
+TEST(WebExperimentTest, DelayDecompositionRecorded) {
+  WebExperiment exp(EdisonWebTestbed(4, 2));
+  const LevelReport report =
+      exp.MeasureClosedLoop(HeavyMix(), 32, 8, Seconds(2), Seconds(8));
+  // 93% cache hits: cache fetches dominate counts; misses hit the DB.
+  EXPECT_GT(report.cache_delay.count(), report.db_delay.count());
+  EXPECT_GT(report.db_delay.count(), 0u);
+  // The DB is two Dell machines across a room link; a fetch takes
+  // milliseconds, not microseconds or seconds.
+  EXPECT_GT(report.db_delay.mean(), Milliseconds(1));
+  EXPECT_LT(report.db_delay.mean(), Milliseconds(100));
+  EXPECT_LE(report.cache_delay.mean() + report.db_delay.mean(),
+            report.total_delay.mean() * 2.0);
+}
+
+TEST(WebExperimentTest, UtilisationReported) {
+  WebExperiment exp(EdisonWebTestbed(4, 2));
+  const LevelReport report =
+      exp.MeasureClosedLoop(LightMix(), 128, 8, Seconds(2), Seconds(8));
+  EXPECT_GT(report.web_cpu_pct, 1.0);
+  EXPECT_LT(report.web_cpu_pct, 100.0);
+  EXPECT_GE(report.cache_cpu_pct, 0.0);
+  EXPECT_GT(report.cache_memory_pct, 10.0);  // warmed cache footprint
+}
+
+TEST(WebExperimentTest, OpenLoopHistogramCollectsDelays) {
+  WebExperiment exp(EdisonWebTestbed(4, 2));
+  const OpenLoopReport report =
+      exp.MeasureOpenLoop(LightMix(), 200, Seconds(8));
+  EXPECT_NEAR(report.achieved_rps, 200, 40);
+  EXPECT_GT(report.delay_histogram.total(), 1000u);
+  // At this easy load the delays concentrate in the first bucket.
+  EXPECT_EQ(report.delay_histogram.ArgMaxBucket(), 0u);
+  EXPECT_GT(report.client_delay.mean(), 0.0);
+}
+
+TEST(WebExperimentTest, EdisonFasterResponseAtLowLoadThanUnderStress) {
+  WebExperiment exp(EdisonWebTestbed(4, 2));
+  const LevelReport light =
+      exp.MeasureClosedLoop(LightMix(), 32, 8, Seconds(2), Seconds(8));
+  const LevelReport stressed =
+      exp.MeasureClosedLoop(LightMix(), 512, 8, Seconds(2), Seconds(8));
+  EXPECT_GT(stressed.mean_response, light.mean_response);
+}
+
+}  // namespace
+}  // namespace wimpy::web

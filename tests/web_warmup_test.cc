@@ -1,0 +1,83 @@
+#include "web/warmup.h"
+
+#include <gtest/gtest.h>
+
+namespace wimpy::web {
+namespace {
+
+TEST(ZipfCoverageTest, BoundaryBehaviour) {
+  EXPECT_DOUBLE_EQ(ZipfCoverage(0, 1000, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ZipfCoverage(1000, 1000, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(ZipfCoverage(2000, 1000, 1.0), 1.0);  // clamped
+}
+
+TEST(ZipfCoverageTest, MonotoneInCacheAndSkew) {
+  double prev = 0;
+  for (double k : {10.0, 100.0, 1000.0, 10000.0}) {
+    const double c = ZipfCoverage(k, 1e6, 1.0);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+  // Heavier skew -> better coverage at equal cache size.
+  EXPECT_GT(ZipfCoverage(1000, 1e6, 1.2), ZipfCoverage(1000, 1e6, 1.0));
+  EXPECT_GT(ZipfCoverage(1000, 1e6, 1.0), ZipfCoverage(1000, 1e6, 0.8));
+}
+
+TEST(WarmupModelTest, EdisonTierLandsNearPaperHitRatio) {
+  // 11 Edison cache servers at ~50% of 1 GB usable reach the paper's 93%
+  // operating point on the no-image catalog with a typical web skew.
+  const TableCatalog catalog = TableCatalog::PaperCatalog(0.0);
+  CacheTierSpec tier;  // defaults: 11 x 1 GB x 0.5, s = 1.1
+  const double hit = EstimateHitRatio(catalog, tier);
+  EXPECT_GT(hit, 0.88);
+  EXPECT_LT(hit, 0.98);
+}
+
+TEST(WarmupModelTest, SmallerTierMeansLowerHitRatio) {
+  const TableCatalog catalog = TableCatalog::PaperCatalog(0.0);
+  CacheTierSpec full;
+  CacheTierSpec half = full;
+  half.cache_servers = 3;
+  EXPECT_LT(EstimateHitRatio(catalog, half),
+            EstimateHitRatio(catalog, full));
+  // The paper's 77% and 60% points correspond to under-warmed/smaller
+  // effective caches; a few hundred MB of tier lands in that band.
+  CacheTierSpec tiny = full;
+  tiny.cache_servers = 1;
+  tiny.usable_fraction = 0.3;
+  const double tiny_hit = EstimateHitRatio(catalog, tiny);
+  EXPECT_GT(tiny_hit, 0.4);
+  EXPECT_LT(tiny_hit, 0.85);
+}
+
+TEST(WarmupModelTest, ImageHeavyMixesAreHarderToCache) {
+  CacheTierSpec tier;
+  const double plain =
+      EstimateHitRatio(TableCatalog::PaperCatalog(0.0), tier);
+  const double heavy =
+      EstimateHitRatio(TableCatalog::PaperCatalog(0.20), tier);
+  EXPECT_LT(heavy, plain);  // 44 KB blobs crowd out the working set
+}
+
+TEST(WarmupModelTest, DellTierCachesMoreThanEdisonTier) {
+  const TableCatalog catalog = TableCatalog::PaperCatalog(0.10);
+  CacheTierSpec edison;  // 11 x 1 GB
+  CacheTierSpec dell;
+  dell.cache_servers = 1;
+  dell.server_memory = GB(16);
+  dell.usable_fraction = 0.4;  // paper: 40% memory used on the Dell cache
+  EXPECT_GT(EstimateHitRatio(catalog, dell),
+            EstimateHitRatio(catalog, edison) - 0.02);
+}
+
+TEST(WarmupModelTest, WarmupTimeScalesWithCapacityAndRate) {
+  CacheTierSpec tier;
+  const Duration slow = WarmupTimeNeeded(tier, MBps(10));
+  const Duration fast = WarmupTimeNeeded(tier, MBps(100));
+  EXPECT_NEAR(slow / fast, 10.0, 1e-9);
+  EXPECT_GT(slow, Minutes(5));  // 5.5 GB at 10 MB/s ~ 9 min
+  EXPECT_EQ(WarmupTimeNeeded(tier, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace wimpy::web

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Runs the MapReduce timeline bench and prints measured-vs-paper runtime
+# and energy side by side, for calibration passes on the job cost
+# constants in src/mapreduce/jobs.cc.
+set -u
+cd "$(dirname "$0")/.."
+BIN=build/bench/bench_fig12_17_mr_timelines
+if [[ ! -x "$BIN" ]]; then
+  echo "build first: cmake --build build" >&2
+  exit 1
+fi
+"$BIN" | grep -E "^== |runtime"
