@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diurnal_energy.dir/bench_diurnal_energy.cc.o"
+  "CMakeFiles/bench_diurnal_energy.dir/bench_diurnal_energy.cc.o.d"
+  "bench_diurnal_energy"
+  "bench_diurnal_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diurnal_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dvfs_proportionality.dir/bench_dvfs_proportionality.cc.o"
+  "CMakeFiles/bench_dvfs_proportionality.dir/bench_dvfs_proportionality.cc.o.d"
+  "bench_dvfs_proportionality"
+  "bench_dvfs_proportionality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dvfs_proportionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

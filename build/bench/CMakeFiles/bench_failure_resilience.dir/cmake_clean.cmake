@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_failure_resilience.dir/bench_failure_resilience.cc.o"
+  "CMakeFiles/bench_failure_resilience.dir/bench_failure_resilience.cc.o.d"
+  "bench_failure_resilience"
+  "bench_failure_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failure_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_8_web_mix.dir/bench_fig5_8_web_mix.cc.o"
+  "CMakeFiles/bench_fig5_8_web_mix.dir/bench_fig5_8_web_mix.cc.o.d"
+  "bench_fig5_8_web_mix"
+  "bench_fig5_8_web_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_8_web_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kv_queries_per_joule.dir/bench_kv_queries_per_joule.cc.o"
+  "CMakeFiles/bench_kv_queries_per_joule.dir/bench_kv_queries_per_joule.cc.o.d"
+  "bench_kv_queries_per_joule"
+  "bench_kv_queries_per_joule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kv_queries_per_joule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_proportionality.dir/bench_proportionality.cc.o"
+  "CMakeFiles/bench_proportionality.dir/bench_proportionality.cc.o.d"
+  "bench_proportionality"
+  "bench_proportionality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_proportionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

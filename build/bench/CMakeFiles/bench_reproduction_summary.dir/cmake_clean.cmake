@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reproduction_summary.dir/bench_reproduction_summary.cc.o"
+  "CMakeFiles/bench_reproduction_summary.dir/bench_reproduction_summary.cc.o.d"
+  "bench_reproduction_summary"
+  "bench_reproduction_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reproduction_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

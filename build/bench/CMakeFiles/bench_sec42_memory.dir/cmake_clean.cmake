@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec42_memory.dir/bench_sec42_memory.cc.o"
+  "CMakeFiles/bench_sec42_memory.dir/bench_sec42_memory.cc.o.d"
+  "bench_sec42_memory"
+  "bench_sec42_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec42_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

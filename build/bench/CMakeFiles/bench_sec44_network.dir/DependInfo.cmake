@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sec44_network.cc" "bench/CMakeFiles/bench_sec44_network.dir/bench_sec44_network.cc.o" "gcc" "bench/CMakeFiles/bench_sec44_network.dir/bench_sec44_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/wimpy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/wimpy_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wimpy_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wimpy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

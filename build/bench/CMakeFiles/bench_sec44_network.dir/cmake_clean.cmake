@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec44_network.dir/bench_sec44_network.cc.o"
+  "CMakeFiles/bench_sec44_network.dir/bench_sec44_network.cc.o.d"
+  "bench_sec44_network"
+  "bench_sec44_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec44_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_tco.dir/bench_table10_tco.cc.o"
+  "CMakeFiles/bench_table10_tco.dir/bench_table10_tco.cc.o.d"
+  "bench_table10_tco"
+  "bench_table10_tco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_storage.dir/bench_table5_storage.cc.o"
+  "CMakeFiles/bench_table5_storage.dir/bench_table5_storage.cc.o.d"
+  "bench_table5_storage"
+  "bench_table5_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_delay_decomp.dir/bench_table7_delay_decomp.cc.o"
+  "CMakeFiles/bench_table7_delay_decomp.dir/bench_table7_delay_decomp.cc.o.d"
+  "bench_table7_delay_decomp"
+  "bench_table7_delay_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_delay_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_hardware_eval.dir/custom_hardware_eval.cpp.o"
+  "CMakeFiles/custom_hardware_eval.dir/custom_hardware_eval.cpp.o.d"
+  "custom_hardware_eval"
+  "custom_hardware_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_hardware_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

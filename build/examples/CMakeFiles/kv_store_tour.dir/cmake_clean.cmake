@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_store_tour.dir/kv_store_tour.cpp.o"
+  "CMakeFiles/kv_store_tour.dir/kv_store_tour.cpp.o.d"
+  "kv_store_tour"
+  "kv_store_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_store_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

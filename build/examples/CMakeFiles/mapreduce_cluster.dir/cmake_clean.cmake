@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_cluster.dir/mapreduce_cluster.cpp.o"
+  "CMakeFiles/mapreduce_cluster.dir/mapreduce_cluster.cpp.o.d"
+  "mapreduce_cluster"
+  "mapreduce_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimpy_cluster.dir/cluster.cc.o"
+  "CMakeFiles/wimpy_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/wimpy_cluster.dir/metrics.cc.o"
+  "CMakeFiles/wimpy_cluster.dir/metrics.cc.o.d"
+  "libwimpy_cluster.a"
+  "libwimpy_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimpy_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

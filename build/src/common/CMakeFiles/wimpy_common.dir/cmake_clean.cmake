@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimpy_common.dir/csv.cc.o"
+  "CMakeFiles/wimpy_common.dir/csv.cc.o.d"
+  "CMakeFiles/wimpy_common.dir/histogram.cc.o"
+  "CMakeFiles/wimpy_common.dir/histogram.cc.o.d"
+  "CMakeFiles/wimpy_common.dir/logging.cc.o"
+  "CMakeFiles/wimpy_common.dir/logging.cc.o.d"
+  "CMakeFiles/wimpy_common.dir/random.cc.o"
+  "CMakeFiles/wimpy_common.dir/random.cc.o.d"
+  "CMakeFiles/wimpy_common.dir/stats.cc.o"
+  "CMakeFiles/wimpy_common.dir/stats.cc.o.d"
+  "CMakeFiles/wimpy_common.dir/status.cc.o"
+  "CMakeFiles/wimpy_common.dir/status.cc.o.d"
+  "CMakeFiles/wimpy_common.dir/table.cc.o"
+  "CMakeFiles/wimpy_common.dir/table.cc.o.d"
+  "CMakeFiles/wimpy_common.dir/units.cc.o"
+  "CMakeFiles/wimpy_common.dir/units.cc.o.d"
+  "libwimpy_common.a"
+  "libwimpy_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimpy_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

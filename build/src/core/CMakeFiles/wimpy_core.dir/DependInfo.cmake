@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/capacity.cc" "src/core/CMakeFiles/wimpy_core.dir/capacity.cc.o" "gcc" "src/core/CMakeFiles/wimpy_core.dir/capacity.cc.o.d"
+  "/root/repo/src/core/diurnal.cc" "src/core/CMakeFiles/wimpy_core.dir/diurnal.cc.o" "gcc" "src/core/CMakeFiles/wimpy_core.dir/diurnal.cc.o.d"
+  "/root/repo/src/core/experiments.cc" "src/core/CMakeFiles/wimpy_core.dir/experiments.cc.o" "gcc" "src/core/CMakeFiles/wimpy_core.dir/experiments.cc.o.d"
+  "/root/repo/src/core/hybrid.cc" "src/core/CMakeFiles/wimpy_core.dir/hybrid.cc.o" "gcc" "src/core/CMakeFiles/wimpy_core.dir/hybrid.cc.o.d"
+  "/root/repo/src/core/powerdown.cc" "src/core/CMakeFiles/wimpy_core.dir/powerdown.cc.o" "gcc" "src/core/CMakeFiles/wimpy_core.dir/powerdown.cc.o.d"
+  "/root/repo/src/core/proportionality.cc" "src/core/CMakeFiles/wimpy_core.dir/proportionality.cc.o" "gcc" "src/core/CMakeFiles/wimpy_core.dir/proportionality.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/wimpy_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/wimpy_core.dir/report.cc.o.d"
+  "/root/repo/src/core/tco.cc" "src/core/CMakeFiles/wimpy_core.dir/tco.cc.o" "gcc" "src/core/CMakeFiles/wimpy_core.dir/tco.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapreduce/CMakeFiles/wimpy_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/wimpy_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/wimpy_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wimpy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/wimpy_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wimpy_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wimpy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimpy_core.dir/capacity.cc.o"
+  "CMakeFiles/wimpy_core.dir/capacity.cc.o.d"
+  "CMakeFiles/wimpy_core.dir/diurnal.cc.o"
+  "CMakeFiles/wimpy_core.dir/diurnal.cc.o.d"
+  "CMakeFiles/wimpy_core.dir/experiments.cc.o"
+  "CMakeFiles/wimpy_core.dir/experiments.cc.o.d"
+  "CMakeFiles/wimpy_core.dir/hybrid.cc.o"
+  "CMakeFiles/wimpy_core.dir/hybrid.cc.o.d"
+  "CMakeFiles/wimpy_core.dir/powerdown.cc.o"
+  "CMakeFiles/wimpy_core.dir/powerdown.cc.o.d"
+  "CMakeFiles/wimpy_core.dir/proportionality.cc.o"
+  "CMakeFiles/wimpy_core.dir/proportionality.cc.o.d"
+  "CMakeFiles/wimpy_core.dir/report.cc.o"
+  "CMakeFiles/wimpy_core.dir/report.cc.o.d"
+  "CMakeFiles/wimpy_core.dir/tco.cc.o"
+  "CMakeFiles/wimpy_core.dir/tco.cc.o.d"
+  "libwimpy_core.a"
+  "libwimpy_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimpy_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cpu.cc" "src/hw/CMakeFiles/wimpy_hw.dir/cpu.cc.o" "gcc" "src/hw/CMakeFiles/wimpy_hw.dir/cpu.cc.o.d"
+  "/root/repo/src/hw/dvfs.cc" "src/hw/CMakeFiles/wimpy_hw.dir/dvfs.cc.o" "gcc" "src/hw/CMakeFiles/wimpy_hw.dir/dvfs.cc.o.d"
+  "/root/repo/src/hw/memory.cc" "src/hw/CMakeFiles/wimpy_hw.dir/memory.cc.o" "gcc" "src/hw/CMakeFiles/wimpy_hw.dir/memory.cc.o.d"
+  "/root/repo/src/hw/nic.cc" "src/hw/CMakeFiles/wimpy_hw.dir/nic.cc.o" "gcc" "src/hw/CMakeFiles/wimpy_hw.dir/nic.cc.o.d"
+  "/root/repo/src/hw/power.cc" "src/hw/CMakeFiles/wimpy_hw.dir/power.cc.o" "gcc" "src/hw/CMakeFiles/wimpy_hw.dir/power.cc.o.d"
+  "/root/repo/src/hw/profiles.cc" "src/hw/CMakeFiles/wimpy_hw.dir/profiles.cc.o" "gcc" "src/hw/CMakeFiles/wimpy_hw.dir/profiles.cc.o.d"
+  "/root/repo/src/hw/server_node.cc" "src/hw/CMakeFiles/wimpy_hw.dir/server_node.cc.o" "gcc" "src/hw/CMakeFiles/wimpy_hw.dir/server_node.cc.o.d"
+  "/root/repo/src/hw/storage.cc" "src/hw/CMakeFiles/wimpy_hw.dir/storage.cc.o" "gcc" "src/hw/CMakeFiles/wimpy_hw.dir/storage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wimpy_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wimpy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

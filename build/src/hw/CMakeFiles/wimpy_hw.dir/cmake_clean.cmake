@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimpy_hw.dir/cpu.cc.o"
+  "CMakeFiles/wimpy_hw.dir/cpu.cc.o.d"
+  "CMakeFiles/wimpy_hw.dir/dvfs.cc.o"
+  "CMakeFiles/wimpy_hw.dir/dvfs.cc.o.d"
+  "CMakeFiles/wimpy_hw.dir/memory.cc.o"
+  "CMakeFiles/wimpy_hw.dir/memory.cc.o.d"
+  "CMakeFiles/wimpy_hw.dir/nic.cc.o"
+  "CMakeFiles/wimpy_hw.dir/nic.cc.o.d"
+  "CMakeFiles/wimpy_hw.dir/power.cc.o"
+  "CMakeFiles/wimpy_hw.dir/power.cc.o.d"
+  "CMakeFiles/wimpy_hw.dir/profiles.cc.o"
+  "CMakeFiles/wimpy_hw.dir/profiles.cc.o.d"
+  "CMakeFiles/wimpy_hw.dir/server_node.cc.o"
+  "CMakeFiles/wimpy_hw.dir/server_node.cc.o.d"
+  "CMakeFiles/wimpy_hw.dir/storage.cc.o"
+  "CMakeFiles/wimpy_hw.dir/storage.cc.o.d"
+  "libwimpy_hw.a"
+  "libwimpy_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimpy_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimpy_kernels.dir/dhrystone.cc.o"
+  "CMakeFiles/wimpy_kernels.dir/dhrystone.cc.o.d"
+  "CMakeFiles/wimpy_kernels.dir/sysbench.cc.o"
+  "CMakeFiles/wimpy_kernels.dir/sysbench.cc.o.d"
+  "libwimpy_kernels.a"
+  "libwimpy_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimpy_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimpy_kv.dir/experiment.cc.o"
+  "CMakeFiles/wimpy_kv.dir/experiment.cc.o.d"
+  "CMakeFiles/wimpy_kv.dir/store.cc.o"
+  "CMakeFiles/wimpy_kv.dir/store.cc.o.d"
+  "libwimpy_kv.a"
+  "libwimpy_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimpy_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

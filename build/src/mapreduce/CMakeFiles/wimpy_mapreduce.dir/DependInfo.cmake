@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapreduce/compute.cc" "src/mapreduce/CMakeFiles/wimpy_mapreduce.dir/compute.cc.o" "gcc" "src/mapreduce/CMakeFiles/wimpy_mapreduce.dir/compute.cc.o.d"
+  "/root/repo/src/mapreduce/hdfs.cc" "src/mapreduce/CMakeFiles/wimpy_mapreduce.dir/hdfs.cc.o" "gcc" "src/mapreduce/CMakeFiles/wimpy_mapreduce.dir/hdfs.cc.o.d"
+  "/root/repo/src/mapreduce/job.cc" "src/mapreduce/CMakeFiles/wimpy_mapreduce.dir/job.cc.o" "gcc" "src/mapreduce/CMakeFiles/wimpy_mapreduce.dir/job.cc.o.d"
+  "/root/repo/src/mapreduce/jobs.cc" "src/mapreduce/CMakeFiles/wimpy_mapreduce.dir/jobs.cc.o" "gcc" "src/mapreduce/CMakeFiles/wimpy_mapreduce.dir/jobs.cc.o.d"
+  "/root/repo/src/mapreduce/tera_pipeline.cc" "src/mapreduce/CMakeFiles/wimpy_mapreduce.dir/tera_pipeline.cc.o" "gcc" "src/mapreduce/CMakeFiles/wimpy_mapreduce.dir/tera_pipeline.cc.o.d"
+  "/root/repo/src/mapreduce/testbed.cc" "src/mapreduce/CMakeFiles/wimpy_mapreduce.dir/testbed.cc.o" "gcc" "src/mapreduce/CMakeFiles/wimpy_mapreduce.dir/testbed.cc.o.d"
+  "/root/repo/src/mapreduce/textgen.cc" "src/mapreduce/CMakeFiles/wimpy_mapreduce.dir/textgen.cc.o" "gcc" "src/mapreduce/CMakeFiles/wimpy_mapreduce.dir/textgen.cc.o.d"
+  "/root/repo/src/mapreduce/yarn.cc" "src/mapreduce/CMakeFiles/wimpy_mapreduce.dir/yarn.cc.o" "gcc" "src/mapreduce/CMakeFiles/wimpy_mapreduce.dir/yarn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/wimpy_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wimpy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/wimpy_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wimpy_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wimpy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimpy_mapreduce.dir/compute.cc.o"
+  "CMakeFiles/wimpy_mapreduce.dir/compute.cc.o.d"
+  "CMakeFiles/wimpy_mapreduce.dir/hdfs.cc.o"
+  "CMakeFiles/wimpy_mapreduce.dir/hdfs.cc.o.d"
+  "CMakeFiles/wimpy_mapreduce.dir/job.cc.o"
+  "CMakeFiles/wimpy_mapreduce.dir/job.cc.o.d"
+  "CMakeFiles/wimpy_mapreduce.dir/jobs.cc.o"
+  "CMakeFiles/wimpy_mapreduce.dir/jobs.cc.o.d"
+  "CMakeFiles/wimpy_mapreduce.dir/tera_pipeline.cc.o"
+  "CMakeFiles/wimpy_mapreduce.dir/tera_pipeline.cc.o.d"
+  "CMakeFiles/wimpy_mapreduce.dir/testbed.cc.o"
+  "CMakeFiles/wimpy_mapreduce.dir/testbed.cc.o.d"
+  "CMakeFiles/wimpy_mapreduce.dir/textgen.cc.o"
+  "CMakeFiles/wimpy_mapreduce.dir/textgen.cc.o.d"
+  "CMakeFiles/wimpy_mapreduce.dir/yarn.cc.o"
+  "CMakeFiles/wimpy_mapreduce.dir/yarn.cc.o.d"
+  "libwimpy_mapreduce.a"
+  "libwimpy_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimpy_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimpy_net.dir/fabric.cc.o"
+  "CMakeFiles/wimpy_net.dir/fabric.cc.o.d"
+  "CMakeFiles/wimpy_net.dir/tcp.cc.o"
+  "CMakeFiles/wimpy_net.dir/tcp.cc.o.d"
+  "libwimpy_net.a"
+  "libwimpy_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimpy_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimpy_sim.dir/fair_share.cc.o"
+  "CMakeFiles/wimpy_sim.dir/fair_share.cc.o.d"
+  "CMakeFiles/wimpy_sim.dir/scheduler.cc.o"
+  "CMakeFiles/wimpy_sim.dir/scheduler.cc.o.d"
+  "CMakeFiles/wimpy_sim.dir/semaphore.cc.o"
+  "CMakeFiles/wimpy_sim.dir/semaphore.cc.o.d"
+  "libwimpy_sim.a"
+  "libwimpy_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimpy_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

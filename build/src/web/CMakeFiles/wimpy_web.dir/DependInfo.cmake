@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/web/backend.cc" "src/web/CMakeFiles/wimpy_web.dir/backend.cc.o" "gcc" "src/web/CMakeFiles/wimpy_web.dir/backend.cc.o.d"
+  "/root/repo/src/web/catalog.cc" "src/web/CMakeFiles/wimpy_web.dir/catalog.cc.o" "gcc" "src/web/CMakeFiles/wimpy_web.dir/catalog.cc.o.d"
+  "/root/repo/src/web/service.cc" "src/web/CMakeFiles/wimpy_web.dir/service.cc.o" "gcc" "src/web/CMakeFiles/wimpy_web.dir/service.cc.o.d"
+  "/root/repo/src/web/warmup.cc" "src/web/CMakeFiles/wimpy_web.dir/warmup.cc.o" "gcc" "src/web/CMakeFiles/wimpy_web.dir/warmup.cc.o.d"
+  "/root/repo/src/web/web_server.cc" "src/web/CMakeFiles/wimpy_web.dir/web_server.cc.o" "gcc" "src/web/CMakeFiles/wimpy_web.dir/web_server.cc.o.d"
+  "/root/repo/src/web/workload.cc" "src/web/CMakeFiles/wimpy_web.dir/workload.cc.o" "gcc" "src/web/CMakeFiles/wimpy_web.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/wimpy_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wimpy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/wimpy_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wimpy_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wimpy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimpy_web.dir/backend.cc.o"
+  "CMakeFiles/wimpy_web.dir/backend.cc.o.d"
+  "CMakeFiles/wimpy_web.dir/catalog.cc.o"
+  "CMakeFiles/wimpy_web.dir/catalog.cc.o.d"
+  "CMakeFiles/wimpy_web.dir/service.cc.o"
+  "CMakeFiles/wimpy_web.dir/service.cc.o.d"
+  "CMakeFiles/wimpy_web.dir/warmup.cc.o"
+  "CMakeFiles/wimpy_web.dir/warmup.cc.o.d"
+  "CMakeFiles/wimpy_web.dir/web_server.cc.o"
+  "CMakeFiles/wimpy_web.dir/web_server.cc.o.d"
+  "CMakeFiles/wimpy_web.dir/workload.cc.o"
+  "CMakeFiles/wimpy_web.dir/workload.cc.o.d"
+  "libwimpy_web.a"
+  "libwimpy_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimpy_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

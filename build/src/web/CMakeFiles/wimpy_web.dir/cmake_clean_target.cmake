@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwimpy_web.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_capacity_test.dir/core_capacity_test.cc.o"
+  "CMakeFiles/core_capacity_test.dir/core_capacity_test.cc.o.d"
+  "core_capacity_test"
+  "core_capacity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_capacity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

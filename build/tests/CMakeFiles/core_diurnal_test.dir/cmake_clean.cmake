@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_diurnal_test.dir/core_diurnal_test.cc.o"
+  "CMakeFiles/core_diurnal_test.dir/core_diurnal_test.cc.o.d"
+  "core_diurnal_test"
+  "core_diurnal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_diurnal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_hybrid_test.dir/core_hybrid_test.cc.o"
+  "CMakeFiles/core_hybrid_test.dir/core_hybrid_test.cc.o.d"
+  "core_hybrid_test"
+  "core_hybrid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_hybrid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

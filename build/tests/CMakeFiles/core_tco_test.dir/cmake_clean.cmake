@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tco_test.dir/core_tco_test.cc.o"
+  "CMakeFiles/core_tco_test.dir/core_tco_test.cc.o.d"
+  "core_tco_test"
+  "core_tco_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tco_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_dvfs_test.dir/hw_dvfs_test.cc.o"
+  "CMakeFiles/hw_dvfs_test.dir/hw_dvfs_test.cc.o.d"
+  "hw_dvfs_test"
+  "hw_dvfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_dvfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_profile_test.dir/hw_profile_test.cc.o"
+  "CMakeFiles/hw_profile_test.dir/hw_profile_test.cc.o.d"
+  "hw_profile_test"
+  "hw_profile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_storage_edge_test.dir/hw_storage_edge_test.cc.o"
+  "CMakeFiles/hw_storage_edge_test.dir/hw_storage_edge_test.cc.o.d"
+  "hw_storage_edge_test"
+  "hw_storage_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_storage_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

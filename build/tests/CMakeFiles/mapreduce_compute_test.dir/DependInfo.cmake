@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mapreduce_compute_test.cc" "tests/CMakeFiles/mapreduce_compute_test.dir/mapreduce_compute_test.cc.o" "gcc" "tests/CMakeFiles/mapreduce_compute_test.dir/mapreduce_compute_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapreduce/CMakeFiles/wimpy_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/wimpy_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wimpy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/wimpy_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wimpy_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wimpy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

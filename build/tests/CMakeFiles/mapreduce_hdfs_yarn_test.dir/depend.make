@@ -1,0 +1,2 @@
+# Empty dependencies file for mapreduce_hdfs_yarn_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_scalability_test.dir/mapreduce_scalability_test.cc.o"
+  "CMakeFiles/mapreduce_scalability_test.dir/mapreduce_scalability_test.cc.o.d"
+  "mapreduce_scalability_test"
+  "mapreduce_scalability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_scalability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_tera_pipeline_test.dir/mapreduce_tera_pipeline_test.cc.o"
+  "CMakeFiles/mapreduce_tera_pipeline_test.dir/mapreduce_tera_pipeline_test.cc.o.d"
+  "mapreduce_tera_pipeline_test"
+  "mapreduce_tera_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_tera_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

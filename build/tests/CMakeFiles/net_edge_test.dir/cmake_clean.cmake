@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_edge_test.dir/net_edge_test.cc.o"
+  "CMakeFiles/net_edge_test.dir/net_edge_test.cc.o.d"
+  "net_edge_test"
+  "net_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

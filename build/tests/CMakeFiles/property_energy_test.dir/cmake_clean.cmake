@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_energy_test.dir/property_energy_test.cc.o"
+  "CMakeFiles/property_energy_test.dir/property_energy_test.cc.o.d"
+  "property_energy_test"
+  "property_energy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_energy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

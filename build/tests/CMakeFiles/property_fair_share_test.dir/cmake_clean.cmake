@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_fair_share_test.dir/property_fair_share_test.cc.o"
+  "CMakeFiles/property_fair_share_test.dir/property_fair_share_test.cc.o.d"
+  "property_fair_share_test"
+  "property_fair_share_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_fair_share_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_hdfs_tcp_test.dir/property_hdfs_tcp_test.cc.o"
+  "CMakeFiles/property_hdfs_tcp_test.dir/property_hdfs_tcp_test.cc.o.d"
+  "property_hdfs_tcp_test"
+  "property_hdfs_tcp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_hdfs_tcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

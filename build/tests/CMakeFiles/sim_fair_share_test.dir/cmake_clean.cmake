@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_fair_share_test.dir/sim_fair_share_test.cc.o"
+  "CMakeFiles/sim_fair_share_test.dir/sim_fair_share_test.cc.o.d"
+  "sim_fair_share_test"
+  "sim_fair_share_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_fair_share_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_semaphore_test.dir/sim_semaphore_test.cc.o"
+  "CMakeFiles/sim_semaphore_test.dir/sim_semaphore_test.cc.o.d"
+  "sim_semaphore_test"
+  "sim_semaphore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_semaphore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_task_test.dir/sim_task_test.cc.o"
+  "CMakeFiles/sim_task_test.dir/sim_task_test.cc.o.d"
+  "sim_task_test"
+  "sim_task_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_task_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_failure_test.dir/web_failure_test.cc.o"
+  "CMakeFiles/web_failure_test.dir/web_failure_test.cc.o.d"
+  "web_failure_test"
+  "web_failure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

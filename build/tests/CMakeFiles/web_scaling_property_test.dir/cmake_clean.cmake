@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_scaling_property_test.dir/web_scaling_property_test.cc.o"
+  "CMakeFiles/web_scaling_property_test.dir/web_scaling_property_test.cc.o.d"
+  "web_scaling_property_test"
+  "web_scaling_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_scaling_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

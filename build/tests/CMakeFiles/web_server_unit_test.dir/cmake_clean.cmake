@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_server_unit_test.dir/web_server_unit_test.cc.o"
+  "CMakeFiles/web_server_unit_test.dir/web_server_unit_test.cc.o.d"
+  "web_server_unit_test"
+  "web_server_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_server_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

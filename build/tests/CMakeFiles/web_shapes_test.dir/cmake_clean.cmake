@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_shapes_test.dir/web_shapes_test.cc.o"
+  "CMakeFiles/web_shapes_test.dir/web_shapes_test.cc.o.d"
+  "web_shapes_test"
+  "web_shapes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_shapes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_warmup_test.dir/web_warmup_test.cc.o"
+  "CMakeFiles/web_warmup_test.dir/web_warmup_test.cc.o.d"
+  "web_warmup_test"
+  "web_warmup_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_warmup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
