@@ -33,6 +33,53 @@ void BM_SchedulerEventThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerEventThroughput)->Arg(10000)->Arg(100000);
 
+// Arm/cancel/re-arm churn, the FairShareServer::Reschedule pattern: every
+// simulated arrival cancels the pending completion event and arms a new
+// one, so only a fraction of scheduled events ever fire.
+void BM_SchedulerCancelChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    const int n = static_cast<int>(state.range(0));
+    int fired = 0;
+    sim::EventId pending = 0;
+    for (int i = 0; i < n; ++i) {
+      if (pending != 0) sched.Cancel(pending);
+      pending = sched.ScheduleAfter(1.0 + (i % 7) * 0.25, [&fired] { ++fired; });
+      if (i % 8 == 7) {
+        sched.Run(sched.now() + 2.0);
+        pending = 0;
+      }
+    }
+    sched.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerCancelChurn)->Arg(10000)->Arg(100000);
+
+sim::Process Yielder(sim::Scheduler& sched, int hops, int& done) {
+  for (int i = 0; i < hops; ++i) co_await sim::Delay(sched, 0.0);
+  ++done;
+}
+
+// Same-time coroutine wake-ups: every hop is a zero-delay suspension that
+// rides the scheduler's fast lane instead of the timed heap.
+void BM_SchedulerResumeLaterHops(benchmark::State& state) {
+  constexpr int kProcs = 64;
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    const int hops = static_cast<int>(state.range(0)) / kProcs;
+    int done = 0;
+    for (int p = 0; p < kProcs; ++p) {
+      sim::Spawn(sched, Yielder(sched, hops, done));
+    }
+    sched.Run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerResumeLaterHops)->Arg(100000);
+
 sim::Process ServeJob(sim::FairShareServer& server, double demand) {
   co_await server.Serve(demand);
 }

@@ -1,0 +1,137 @@
+// Small-buffer-optimised move-only callable for scheduler events.
+//
+// The discrete-event hot path schedules millions of short-lived closures.
+// std::function costs an indirect manager call per move plus a potential
+// heap allocation per event; EventFn stores captures up to kInlineCapacity
+// bytes directly in the event slot and falls back to the heap only for
+// oversized captures. The scheduler counts heap fallbacks
+// (Scheduler::fn_heap_allocations) so tests can assert the hot paths stay
+// allocation-free.
+#ifndef WIMPY_SIM_EVENT_FN_H_
+#define WIMPY_SIM_EVENT_FN_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace wimpy::sim {
+
+class EventFn {
+ public:
+  // Inline capture budget. 40 bytes covers every closure the library
+  // schedules today (the largest is a handful of pointers), and keeps the
+  // whole EventFn at 48 bytes so a scheduler slot fits one cache line.
+  // Grow it deliberately if a new call site exceeds it rather than
+  // letting that site silently heap-allocate per event.
+  static constexpr std::size_t kInlineCapacity = 40;
+
+  EventFn() noexcept = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  EventFn(F&& fn) {  // NOLINT: implicit by design, mirrors std::function
+    if constexpr (kFitsInline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      using Ptr = D*;
+      ::new (static_cast<void*>(storage_)) Ptr(new D(std::forward<F>(fn)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { Reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  // True when the capture spilled to the heap (larger than
+  // kInlineCapacity, over-aligned, or throwing move).
+  bool heap_allocated() const noexcept {
+    return ops_ != nullptr && ops_->heap;
+  }
+
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-constructs into dst from src and destroys src.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool heap;
+  };
+
+  template <typename D>
+  static constexpr bool kFitsInline =
+      sizeof(D) <= kInlineCapacity &&
+      alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static D* Stored(void* p) noexcept {
+    return std::launder(reinterpret_cast<D*>(p));
+  }
+  template <typename D>
+  static D** StoredPtr(void* p) noexcept {
+    return std::launder(reinterpret_cast<D**>(p));
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps{
+      [](void* p) { (*Stored<D>(p))(); },
+      [](void* dst, void* src) noexcept {
+        D* s = Stored<D>(src);
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* p) noexcept { Stored<D>(p)->~D(); },
+      /*heap=*/false};
+
+  template <typename D>
+  static constexpr Ops kHeapOps{
+      [](void* p) { (**StoredPtr<D>(p))(); },
+      [](void* dst, void* src) noexcept {
+        using Ptr = D*;
+        ::new (dst) Ptr(*StoredPtr<D>(src));
+      },
+      [](void* p) noexcept { delete *StoredPtr<D>(p); },
+      /*heap=*/true};
+
+  alignas(std::max_align_t) std::byte storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace wimpy::sim
+
+#endif  // WIMPY_SIM_EVENT_FN_H_

@@ -138,6 +138,9 @@ class Process {
 
 // Starts a process at the scheduler's current time. The coroutine begins
 // executing when the scheduler reaches the spawn event, not inside Spawn().
+// The initial resumption rides the scheduler's fast lane (no allocation,
+// no heap operation) while keeping its place in the deterministic
+// (time, sequence) order.
 inline ProcessRef Spawn(Scheduler& sched, Process process) {
   assert(process.handle_ != nullptr && "process already spawned or moved");
   auto handle = process.handle_;
@@ -146,20 +149,24 @@ inline ProcessRef Spawn(Scheduler& sched, Process process) {
   assert(!state->spawned);
   state->sched = &sched;
   state->spawned = true;
-  sched.ScheduleAt(sched.now(), [handle] { handle.resume(); });
+  sched.ResumeLater(handle);
   return ProcessRef(state);
 }
 
 // Awaitable virtual-time sleep. A zero (or negative) delay still yields
-// through the event queue, which is the idiomatic way to defer to other
-// same-time events.
+// through the event queue — via the fast lane, since it is just a same-time
+// wake-up — which is the idiomatic way to defer to other same-time events.
 inline auto Delay(Scheduler& sched, Duration delay) {
   struct Awaiter {
     Scheduler* sched;
     Duration delay;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      sched->ScheduleAfter(delay, [h] { h.resume(); });
+      if (delay <= 0) {
+        sched->ResumeLater(h);
+      } else {
+        sched->ScheduleAfter(delay, [h] { h.resume(); });
+      }
     }
     void await_resume() const noexcept {}
   };

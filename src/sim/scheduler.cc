@@ -1,72 +1,260 @@
 #include "sim/scheduler.h"
 
 #include <cassert>
+#include <cmath>
+#include <cstring>
 #include <utility>
 
 namespace wimpy::sim {
 
-EventId Scheduler::ScheduleAt(SimTime t, std::function<void()> fn) {
-  if (t < now_) t = now_;
-  const EventId id = next_id_++;
-  queue_.push(Event{t, id, std::move(fn)});
-  ++live_events_;
-  return id;
+namespace {
+constexpr std::uint64_t ChainKey(std::uint64_t seq, std::uint32_t slot) {
+  return (seq << 24) | slot;
+}
+}  // namespace
+
+std::size_t Scheduler::CacheIndex(SimTime t) {
+  // Hash the raw bits. Small integer timestamps keep their entropy in the
+  // top mantissa/exponent bits (the low 52 bits are zero), so fold the
+  // high half down before multiplying or every such time lands in the
+  // same line.
+  std::uint64_t bits;
+  std::memcpy(&bits, &t, sizeof(bits));
+  bits ^= bits >> 33;
+  bits *= 0x9e3779b97f4a7c15ull;
+  bits ^= bits >> 29;
+  return static_cast<std::size_t>(bits) & (kCacheSize - 1);
 }
 
-EventId Scheduler::ScheduleAfter(Duration delay, std::function<void()> fn) {
+EventId Scheduler::ScheduleAt(SimTime t, EventFn fn) {
+  if (t < now_) t = now_;
+  if (fn.heap_allocated()) ++fn_heap_allocs_;
+  const std::uint32_t slot = AcquireSlot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.seq = next_seq_++;
+  s.next_key = kNullKey;
+  ++live_scheduled_;
+  const std::uint64_t key = ChainKey(s.seq, slot);
+
+  if (chain_cache_.empty()) chain_cache_.resize(kCacheSize);
+  CacheEntry& c = chain_cache_[CacheIndex(t)];
+  // A cached tail is usable iff its slot still holds the cached event
+  // (seq match) and it is still a tail. Which same-time chain it belongs
+  // to does not matter: every chain is internally seq-sorted, and the
+  // heap merges chain heads by (time, seq), so the global order stays
+  // exact either way.
+  if (c.time == t && c.tail_seq != 0) {
+    Slot& tail = slots_[c.tail];
+    if (tail.seq == c.tail_seq && tail.next_key == kNullKey) {
+      tail.next_key = key;
+      c.tail_seq = s.seq;
+      c.tail = slot;
+      return key;
+    }
+  }
+  // Miss: start a new chain for this timestamp.
+  heap_.push_back(HeapEntry{t, key});
+  HeapSiftUp(heap_.size() - 1);
+  c.time = t;
+  c.tail_seq = s.seq;
+  c.tail = slot;
+  return key;
+}
+
+EventId Scheduler::ScheduleAfter(Duration delay, EventFn fn) {
   if (delay < 0) delay = 0;
   return ScheduleAt(now_ + delay, std::move(fn));
 }
 
 bool Scheduler::Cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  // Tombstone; the heap entry is skipped when popped.
-  const bool inserted = cancelled_.insert(id).second;
-  if (inserted) {
-    assert(live_events_ > 0);
-    --live_events_;
+  const std::uint32_t slot = static_cast<std::uint32_t>(id & kSlotMask);
+  const std::uint64_t seq = id >> kSlotBits;
+  if (seq == 0 || slot >= slots_.size() || slots_[slot].seq != seq ||
+      !slots_[slot].fn) {
+    return false;  // never issued, already ran, or already cancelled
   }
-  return inserted;
+  // O(1): destroy the closure now; the dead link is unhooked for free when
+  // its timestamp chain is drained.
+  slots_[slot].fn.Reset();
+  --live_scheduled_;
+  return true;
 }
 
 void Scheduler::ResumeLater(std::coroutine_handle<> handle) {
-  ScheduleAt(now_, [handle] { handle.resume(); });
+  RingPush(handle, next_seq_++);
+  ++fast_lane_resumes_;
+}
+
+std::uint32_t Scheduler::AcquireSlot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  assert(slots_.size() < (1ull << kSlotBits) && "too many pending events");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Scheduler::HeapSiftUp(std::size_t pos) {
+  const HeapEntry e = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) >> 2;
+    if (!EntryLess(e, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    pos = parent;
+  }
+  heap_[pos] = e;
+}
+
+void Scheduler::HeapSiftDown(std::size_t pos) {
+  const HeapEntry e = heap_[pos];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t child = (pos << 2) + 1;
+    if (child >= n) break;
+    const std::size_t end = child + 4 < n ? child + 4 : n;
+    std::size_t best = child;
+    for (std::size_t c = child + 1; c < end; ++c) {
+      if (EntryLess(heap_[c], heap_[best])) best = c;
+    }
+    if (!EntryLess(heap_[best], e)) break;
+    heap_[pos] = heap_[best];
+    pos = best;
+  }
+  heap_[pos] = e;
+}
+
+void Scheduler::PopRootEntry() {
+  const std::size_t last = heap_.size() - 1;
+  if (last > 0) {
+    heap_[0] = heap_[last];
+    heap_.pop_back();
+    HeapSiftDown(0);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+void Scheduler::ResolveTop() {
+  // Invariant: every heap entry's key names its chain's current head, so a
+  // live head means the top is accurate and the loop is O(1) on the common
+  // path. Cancelled heads are unhooked here, amortised against Cancel.
+  while (!heap_.empty()) {
+    const std::uint32_t head =
+        static_cast<std::uint32_t>(heap_[0].key & kSlotMask);
+    Slot& s = slots_[head];
+    assert(s.seq == heap_[0].key >> kSlotBits);
+    if (s.fn) return;
+    const std::uint64_t next_key = s.next_key;
+    FreeSlot(head);
+    if (next_key == kNullKey) {
+      PopRootEntry();
+    } else {
+      heap_[0].key = next_key;
+      HeapSiftDown(0);
+    }
+  }
+}
+
+bool Scheduler::TakeRingNext() const {
+  if (ring_count_ == 0) return false;
+  if (heap_.empty()) return true;
+  const HeapEntry& top = heap_[0];
+  // Ring entries were posted at the current instant (the clock cannot
+  // advance past a pending wake-up), so any strictly-future heap event
+  // loses; at the current instant the smaller sequence number wins.
+  if (top.time > now_) return true;
+  assert(top.time == now_);
+  return (top.key >> kSlotBits) > ring_[ring_head_].seq;
+}
+
+void Scheduler::RingPush(std::coroutine_handle<> handle, std::uint64_t seq) {
+  if (ring_count_ == ring_.size()) RingGrow();
+  ring_[(ring_head_ + ring_count_) & (ring_.size() - 1)] =
+      RingEntry{handle, seq};
+  ++ring_count_;
+}
+
+Scheduler::RingEntry Scheduler::RingPop() {
+  const RingEntry e = ring_[ring_head_];
+  ring_head_ = (ring_head_ + 1) & (ring_.size() - 1);
+  --ring_count_;
+  return e;
+}
+
+void Scheduler::RingGrow() {
+  const std::size_t old_cap = ring_.size();
+  const std::size_t new_cap = old_cap == 0 ? 16 : old_cap * 2;
+  std::vector<RingEntry> grown(new_cap);
+  for (std::size_t i = 0; i < ring_count_; ++i) {
+    grown[i] = ring_[(ring_head_ + i) & (old_cap - 1)];
+  }
+  ring_ = std::move(grown);
+  ring_head_ = 0;
+}
+
+void Scheduler::ExecuteNext() {
+  ResolveTop();
+  if (TakeRingNext()) {
+    const RingEntry e = RingPop();
+    ++executed_events_;
+    e.handle.resume();
+    return;
+  }
+  const HeapEntry top = heap_[0];
+  const std::uint32_t head =
+      static_cast<std::uint32_t>(top.key & kSlotMask);
+  EventFn fn = std::move(slots_[head].fn);
+  const std::uint64_t next_key = slots_[head].next_key;
+  FreeSlot(head);
+  if (next_key == kNullKey) {
+    PopRootEntry();
+  } else {
+    // Chain continues at the same time: bump the key to the new head's
+    // sequence so other same-time chains can interleave correctly. The
+    // sift is O(1) unless another chain shares this timestamp, and the
+    // prefetch hides the stride to the next pop's slot behind this
+    // event's execution.
+    __builtin_prefetch(&slots_[next_key & kSlotMask]);
+    heap_[0].key = next_key;
+    HeapSiftDown(0);
+  }
+  --live_scheduled_;
+  assert(top.time >= now_);
+  now_ = top.time;
+  ++executed_events_;
+  fn();
 }
 
 bool Scheduler::Step() {
-  while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    auto it = cancelled_.find(ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;  // tombstoned; live_events_ already decremented
-    }
-    assert(ev.time >= now_);
-    now_ = ev.time;
-    --live_events_;
-    ++executed_events_;
-    ev.fn();
-    return true;
-  }
-  return false;
+  if (empty()) return false;
+  ExecuteNext();
+  return true;
 }
 
 std::size_t Scheduler::Run(SimTime until, std::size_t max_events) {
+  if (until < now_) return 0;
   std::size_t executed = 0;
-  while (executed < max_events && !queue_.empty()) {
-    // Peek for the time limit, skipping tombstones.
-    while (!queue_.empty() &&
-           cancelled_.count(queue_.top().id) > 0) {
-      cancelled_.erase(queue_.top().id);
-      queue_.pop();
+  while (executed < max_events) {
+    if (ring_count_ == 0) {
+      ResolveTop();
+      if (heap_.empty()) {
+        // Queue drained before the time limit: land the clock on `until`,
+        // matching the next-event-beyond-`until` exit below.
+        if (until > now_ && std::isfinite(until)) now_ = until;
+        break;
+      }
+      if (heap_[0].time > until) {
+        if (until > now_) now_ = until;
+        break;
+      }
     }
-    if (queue_.empty()) break;
-    if (queue_.top().time > until) {
-      if (until > now_) now_ = until;
-      break;
-    }
-    if (Step()) ++executed;
+    // A non-empty ring always has work due at the current instant, which
+    // is <= until by the loop invariant.
+    ExecuteNext();
+    ++executed;
   }
   return executed;
 }

@@ -3,7 +3,37 @@
 // A `Scheduler` owns the virtual clock and a time-ordered event queue.
 // Events scheduled for the same instant execute in scheduling order
 // (FIFO by sequence number), which makes every simulation in this library
-// fully deterministic for a given seed.
+// fully deterministic for a given seed. Every ScheduleAt / ScheduleAfter /
+// ResumeLater call consumes exactly one sequence number, so the global
+// execution order is the strict (time, sequence) order of those calls.
+//
+// Internals are built for the hot path (see docs/engine.md):
+//
+//  * Callbacks are `EventFn` — small-buffer-optimised closures stored
+//    inline in a per-event slot; no heap allocation for captures up to
+//    EventFn::kInlineCapacity bytes.
+//  * The pending set is a 4-ary min-heap of *timestamp chains*: one
+//    compact 16-byte heap entry per distinct pending timestamp, with all
+//    events at that instant linked through their slots in FIFO order.
+//    Events at an already-pending timestamp append in O(1) (found via a
+//    small lossy cache; a miss just starts another chain for the same
+//    instant, which the heap merges back in sequence order), so heap size
+//    tracks the number of distinct pending *times*, not events.
+//  * `Cancel` is O(1): the event's closure is destroyed and its slot
+//    marked dead; the chain link is skipped for free when its timestamp
+//    is reached. Accounting (`pending_events`) stays exact — there is no
+//    hash-set tombstone scheme and a stale cancel returns false.
+//  * `ResumeLater` bypasses the heap entirely: raw coroutine handles go
+//    through a FIFO ring (the fast lane) and are interleaved with heap
+//    events by sequence number, preserving the deterministic order while
+//    making the dominant wake-up path allocation-free and O(1).
+//
+// Clock semantics of `Run(until)`: the clock never advances beyond
+// `until`, and when the run stops at the time limit — whether because the
+// next event lies beyond `until` or because the queue drained before
+// reaching it — the clock lands exactly on `until` (when finite).
+// Draining an unbounded `Run()` leaves the clock at the last executed
+// event.
 //
 // Higher layers rarely post raw callbacks; they write C++20 coroutine
 // processes (see process.h) whose suspensions are implemented on top of
@@ -13,17 +43,19 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
 #include <limits>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "common/units.h"
+#include "sim/event_fn.h"
 
 namespace wimpy::sim {
 
-// Identifies a scheduled event for cancellation.
+// Identifies a scheduled event for cancellation. Packed
+// {sequence:40, slot:24}; 0 is never a valid id. Sequence numbers are
+// globally unique, so an id goes stale the moment its event fires or is
+// cancelled, and a stale Cancel is a cheap, exact no-op (returns false)
+// instead of corrupting accounting.
 using EventId = std::uint64_t;
 
 class Scheduler {
@@ -37,22 +69,25 @@ class Scheduler {
   SimTime now() const { return now_; }
 
   // Schedules `fn` at absolute time `t` (clamped to now if in the past).
-  EventId ScheduleAt(SimTime t, std::function<void()> fn);
+  EventId ScheduleAt(SimTime t, EventFn fn);
 
   // Schedules `fn` after `delay` seconds (negative treated as 0).
-  EventId ScheduleAfter(Duration delay, std::function<void()> fn);
+  EventId ScheduleAfter(Duration delay, EventFn fn);
 
-  // Cancels a pending event. Returns false if it already ran or was
-  // cancelled before.
+  // Cancels a pending event in O(1). Returns false if it already ran or
+  // was cancelled before.
   bool Cancel(EventId id);
 
-  // Schedules a coroutine resumption at the current time. All coroutine
-  // wake-ups go through the queue so resumption order is deterministic and
-  // the native stack stays shallow.
+  // Schedules a coroutine resumption at the current time via the fast
+  // lane: the raw handle is pushed onto a FIFO ring (no allocation, no
+  // heap operation) and drained in (time, sequence) order exactly as if
+  // it had been scheduled with ScheduleAt(now(), ...).
   void ResumeLater(std::coroutine_handle<> handle);
 
   // Drains the queue until it is empty, `until` is passed, or `max_events`
-  // have run. The clock never advances beyond `until`. Returns the number
+  // have run. The clock never advances beyond `until`; if the run stops at
+  // the time limit (next event beyond `until`, or queue drained with
+  // `until` finite) the clock lands exactly on `until`. Returns the number
   // of events executed.
   std::size_t Run(SimTime until = std::numeric_limits<SimTime>::infinity(),
                   std::size_t max_events =
@@ -61,29 +96,106 @@ class Scheduler {
   // Executes exactly one event if available. Returns false on empty queue.
   bool Step();
 
-  bool empty() const { return live_events_ == 0; }
-  std::size_t pending_events() const { return live_events_; }
+  bool empty() const { return pending_events() == 0; }
+  std::size_t pending_events() const {
+    return live_scheduled_ + ring_count_;
+  }
   std::size_t executed_events() const { return executed_events_; }
 
+  // Introspection counters for tests and benchmarks.
+  // Closures whose captures exceeded EventFn::kInlineCapacity and spilled
+  // to the heap. The library's own call sites keep this at zero.
+  std::uint64_t fn_heap_allocations() const { return fn_heap_allocs_; }
+  // Wake-ups that took the fast lane instead of the heap.
+  std::uint64_t fast_lane_resumes() const { return fast_lane_resumes_; }
+
  private:
-  struct Event {
+  // One heap entry per pending timestamp chain. `key` packs
+  // {seq:40, slot:24} of the chain's current head, so a single integer
+  // compare breaks time ties FIFO and names the head slot.
+  struct HeapEntry {
     SimTime time;
-    EventId id;
-    std::function<void()> fn;
+    std::uint64_t key;
   };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;  // min-heap: earlier id first at equal times
-    }
+  // Per-event storage, sized and aligned to exactly one cache line so a
+  // heap pop touches one line of slot memory. `seq` is the event's unique
+  // sequence number (0 = slot free); an empty `fn` on an occupied slot
+  // marks a cancelled event awaiting cheap removal when its timestamp is
+  // reached. `next_key` is the full chain key {seq:40, slot:24} of the
+  // next same-time event, or kNullKey at the chain tail.
+  struct alignas(64) Slot {
+    EventFn fn;
+    std::uint64_t seq = 0;
+    std::uint64_t next_key = kNullKey;
+  };
+  struct RingEntry {
+    std::coroutine_handle<> handle;
+    std::uint64_t seq;
+  };
+  // Lossy map from timestamp to the tail of a pending chain at that time.
+  // A stale entry is detected by checking the slot still holds the cached
+  // sequence number and is still a tail; a miss merely starts a second
+  // chain for the same instant.
+  struct CacheEntry {
+    SimTime time = 0.0;
+    std::uint64_t tail_seq = 0;
+    std::uint32_t tail = 0;
   };
 
+  static constexpr unsigned kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
+  static constexpr std::uint64_t kNullKey = 0;  // real keys are >= 1<<24
+  static constexpr std::size_t kCacheSize = 512;  // power of two
+
+  static bool EntryLess(const HeapEntry& a, const HeapEntry& b) {
+    return a.time < b.time || (a.time == b.time && a.key < b.key);
+  }
+  static std::size_t CacheIndex(SimTime t);
+
+  std::uint32_t AcquireSlot();
+  void FreeSlot(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    s.fn.Reset();
+    s.seq = 0;  // stale EventIds and cache entries now fail validation
+    free_slots_.push_back(slot);
+  }
+
+  void HeapSiftUp(std::size_t pos);
+  void HeapSiftDown(std::size_t pos);
+  void PopRootEntry();
+
+  // Drops cancelled events off the top chain (freeing their slots) until
+  // the heap is empty or its top names a live chain head.
+  void ResolveTop();
+
+  // True when the next event in (time, seq) order is the ring front.
+  // Precondition: top resolved.
+  bool TakeRingNext() const;
+  void RingPush(std::coroutine_handle<> handle, std::uint64_t seq);
+  RingEntry RingPop();
+  void RingGrow();
+
+  // Executes the globally minimal pending event.
+  // Precondition: pending_events() > 0.
+  void ExecuteNext();
+
   SimTime now_ = 0.0;
-  EventId next_id_ = 1;
-  std::size_t live_events_ = 0;
+  std::uint64_t next_seq_ = 1;
   std::size_t executed_events_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::size_t live_scheduled_ = 0;
+
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<CacheEntry> chain_cache_;
+
+  // Fast-lane FIFO ring (power-of-two capacity).
+  std::vector<RingEntry> ring_;
+  std::size_t ring_head_ = 0;
+  std::size_t ring_count_ = 0;
+
+  std::uint64_t fn_heap_allocs_ = 0;
+  std::uint64_t fast_lane_resumes_ = 0;
 };
 
 }  // namespace wimpy::sim

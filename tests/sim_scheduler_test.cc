@@ -117,6 +117,28 @@ TEST(SchedulerTest, EventsCanScheduleMoreEvents) {
   EXPECT_EQ(s.executed_events(), 50u);
 }
 
+TEST(SchedulerTest, RunToFiniteUntilOnDrainedQueueLandsClockOnUntil) {
+  // The queue draining early must behave like the next-event-beyond-until
+  // exit: the clock lands exactly on `until`.
+  Scheduler s;
+  s.ScheduleAt(1.0, [] {});
+  EXPECT_EQ(s.Run(5.0), 1u);
+  EXPECT_EQ(s.now(), 5.0);
+}
+
+TEST(SchedulerTest, RunToFiniteUntilOnEmptyQueueAdvancesClock) {
+  Scheduler s;
+  EXPECT_EQ(s.Run(2.5), 0u);
+  EXPECT_EQ(s.now(), 2.5);
+}
+
+TEST(SchedulerTest, UnboundedRunLeavesClockAtLastEvent) {
+  Scheduler s;
+  s.ScheduleAt(1.0, [] {});
+  s.Run();
+  EXPECT_EQ(s.now(), 1.0);
+}
+
 TEST(SchedulerTest, StepExecutesExactlyOne) {
   Scheduler s;
   int fired = 0;

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs the engine microbenchmarks and writes google-benchmark JSON to
+# BENCH_engine.json (see docs/engine.md for how to read the numbers).
+#
+# Usage:
+#   tools/run_engine_bench.sh                  # default: build/ -> BENCH_engine.json
+#   BUILD_DIR=out OUT=/tmp/b.json REPS=5 tools/run_engine_bench.sh
+#   FILTER='SchedulerEventThroughput' tools/run_engine_bench.sh
+#
+# Build the benchmark binary first (Release recommended for stable numbers):
+#   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${OUT:-BENCH_engine.json}"
+FILTER="${FILTER:-SchedulerEventThroughput|SchedulerCancelChurn|SchedulerResumeLaterHops|FairShareManyJobs}"
+REPS="${REPS:-5}"
+
+BIN="${BUILD_DIR}/bench/bench_engine_micro"
+if [[ ! -x "${BIN}" ]]; then
+  echo "error: ${BIN} not found; build it first:" >&2
+  echo "  cmake -B ${BUILD_DIR} -S . -DCMAKE_BUILD_TYPE=Release && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+"${BIN}" \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_repetitions="${REPS}" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out="${OUT}" \
+  --benchmark_out_format=json
+
+echo "wrote ${OUT}"
