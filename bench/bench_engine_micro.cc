@@ -12,6 +12,7 @@
 #include "mapreduce/textgen.h"
 #include "sim/fair_share.h"
 #include "sim/process.h"
+#include "sim/replication.h"
 #include "sim/scheduler.h"
 
 namespace {
@@ -98,6 +99,33 @@ void BM_FairShareManyJobs(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_FairShareManyJobs)->Arg(1000)->Arg(10000);
+
+// Parallel replication runner over a fixed batch of fair-share
+// mini-simulations; the arg is the worker-thread count, so the per-thread
+// scaling of the sweep subsystem shows up directly in items/sec. Results
+// are identical at every arg (docs/parallel.md) — only wall time moves.
+void BM_ParallelSweep(benchmark::State& state) {
+  constexpr int kReplications = 32;
+  const std::vector<int> configs = {600, 900};
+  for (auto _ : state) {
+    sim::SweepPlan plan{kReplications, static_cast<int>(state.range(0)), 42};
+    const auto results = sim::RunSweep(
+        configs, plan, [](const int& jobs, Rng& root) {
+          sim::Scheduler sched;
+          sim::FairShareServer server(&sched, 64.0, 2.0);
+          Rng demands = root.Fork();
+          for (int i = 0; i < jobs; ++i) {
+            sim::Spawn(sched, ServeJob(server, demands.Uniform(0.5, 4.0)));
+          }
+          sched.Run();
+          return server.total_work_served();
+        });
+    benchmark::DoNotOptimize(results[0][0]);
+  }
+  state.SetItemsProcessed(state.iterations() * configs.size() *
+                          kReplications);
+}
+BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_DhrystoneKernel(benchmark::State& state) {
   for (auto _ : state) {

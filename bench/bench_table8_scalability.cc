@@ -2,17 +2,54 @@
 // all six MapReduce jobs across cluster sizes (35/17/8/4 Edison slaves,
 // 2/1 Dell slaves), the per-job energy-efficiency ratios quoted in
 // §5.2.1-5.2.4, and the §5.3 mean speed-up per cluster-size doubling.
+//
+// Supports multi-seed sweeps: --replications=N runs every cell N times
+// with independent seeds on --threads workers and reports mean±95% CI
+// (docs/parallel.md). The default single replication keeps the paper's
+// one-run table shape.
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <vector>
 
+#include "common/bench_args.h"
 #include "common/csv.h"
+#include "common/summary.h"
 #include "common/table.h"
 #include "core/experiments.h"
+#include "sim/replication.h"
 
-int main() {
-  using namespace wimpy;
-  using core::PaperJob;
+namespace {
+
+using namespace wimpy;
+using core::PaperJob;
+
+// One sweep configuration: a (job, platform, cluster size) cell.
+struct Cell {
+  PaperJob job;
+  bool edison;
+  int slaves;
+};
+
+struct CellResult {
+  double elapsed = 0;
+  double joules = 0;
+};
+
+CellResult RunCell(const Cell& cell, Rng& root) {
+  mapreduce::MrClusterConfig cfg = cell.edison
+                                       ? mapreduce::EdisonMrCluster(cell.slaves)
+                                       : mapreduce::DellMrCluster(cell.slaves);
+  cfg.seed = root.Next();
+  const auto r = core::RunPaperJob(cell.job, cfg);
+  return {r.job.elapsed, r.slave_joules};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  const int threads = ResolvedThreads(args);
 
   const std::vector<int> edison_sizes = {35, 17, 8, 4};
   const std::vector<int> dell_sizes = {2, 1};
@@ -33,6 +70,21 @@ int main() {
                     "8220s,53547J", "331s,64210J", "1336s,111422J"}},
   };
 
+  // Sweep grid: jobs × (edison sizes + dell sizes), row-major per job so
+  // the result vector maps straight back onto the table rows.
+  std::vector<Cell> cells;
+  for (PaperJob job : core::AllPaperJobs()) {
+    for (int n : edison_sizes) cells.push_back({job, true, n});
+    for (int n : dell_sizes) cells.push_back({job, false, n});
+  }
+
+  const sim::SweepPlan plan{args.replications, threads, args.seed};
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto sweep = sim::RunSweep(cells, plan, RunCell);
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
   TextTable table("Table 8: execution time and energy vs cluster size");
   std::vector<std::string> header{"Job"};
   for (int n : edison_sizes) header.push_back(std::to_string(n) + " Edison");
@@ -43,23 +95,28 @@ int main() {
   std::map<std::string, std::vector<std::pair<int, Duration>>>
       edison_ladder, dell_ladder;
 
+  const int per_job = static_cast<int>(edison_sizes.size() + dell_sizes.size());
+  int cell_idx = 0;
   for (PaperJob job : core::AllPaperJobs()) {
     const std::string name(core::PaperJobName(job));
     std::vector<std::string> row{name};
     std::vector<std::string> paper_row{"  (paper)"};
-    for (int n : edison_sizes) {
-      const auto r = core::RunPaperJob(job, mapreduce::EdisonMrCluster(n));
-      row.push_back(TextTable::Num(r.job.elapsed, 0) + "s," +
-                    TextTable::Num(r.slave_joules, 0) + "J");
-      if (n == 35) edison_full_joules[name] = r.slave_joules;
-      edison_ladder[name].push_back({n, r.job.elapsed});
-    }
-    for (int n : dell_sizes) {
-      const auto r = core::RunPaperJob(job, mapreduce::DellMrCluster(n));
-      row.push_back(TextTable::Num(r.job.elapsed, 0) + "s," +
-                    TextTable::Num(r.slave_joules, 0) + "J");
-      if (n == 2) dell_full_joules[name] = r.slave_joules;
-      dell_ladder[name].push_back({n, r.job.elapsed});
+    for (int i = 0; i < per_job; ++i, ++cell_idx) {
+      const Cell& cell = cells[cell_idx];
+      const auto& reps = sweep[cell_idx];
+      const MetricSummary elapsed =
+          SummarizeOver(reps, [](const CellResult& r) { return r.elapsed; });
+      const MetricSummary joules =
+          SummarizeOver(reps, [](const CellResult& r) { return r.joules; });
+      row.push_back(FormatMeanCI(elapsed, 0) + "s," + FormatMeanCI(joules, 0) +
+                    "J");
+      if (cell.edison) {
+        if (cell.slaves == 35) edison_full_joules[name] = joules.mean;
+        edison_ladder[name].push_back({cell.slaves, elapsed.mean});
+      } else {
+        if (cell.slaves == 2) dell_full_joules[name] = joules.mean;
+        dell_ladder[name].push_back({cell.slaves, elapsed.mean});
+      }
     }
     table.AddRow(row);
     auto it = paper.find(name);
@@ -105,5 +162,8 @@ int main() {
       "inputs (wordcount2/logcount2) helps Dell far more than Edison;\n"
       "light jobs scale worst (logcount2's small-cluster runs use the\n"
       "least total energy).\n");
+  std::printf(
+      "\nSweep: %zu configs x %d replication(s) on %d thread(s) in %.2fs.\n",
+      cells.size(), plan.replications, threads, sweep_seconds);
   return 0;
 }

@@ -1,0 +1,74 @@
+#include "common/bench_args.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+namespace wimpy {
+
+namespace {
+
+void PrintUsage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--replications=N] [--threads=K] [--seed=S]\n"
+               "  --replications=N  seeds per configuration (default 1)\n"
+               "  --threads=K       sweep worker threads (default: hardware "
+               "concurrency)\n"
+               "  --seed=S          base seed for the replication seed tree\n",
+               prog);
+}
+
+bool ParseValue(const char* arg, const char* flag, long long* out) {
+  const std::size_t n = std::strlen(flag);
+  if (std::strncmp(arg, flag, n) != 0 || arg[n] != '=') return false;
+  char* end = nullptr;
+  *out = std::strtoll(arg + n + 1, &end, 0);
+  if (end == arg + n + 1 || *end != '\0') {
+    std::fprintf(stderr, "error: malformed value in '%s'\n", arg);
+    std::exit(2);
+  }
+  return true;
+}
+
+}  // namespace
+
+BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    long long value = 0;
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      PrintUsage(argv[0]);
+      std::exit(0);
+    } else if (ParseValue(argv[i], "--replications", &value)) {
+      if (value < 1) {
+        std::fprintf(stderr, "error: --replications must be >= 1\n");
+        std::exit(2);
+      }
+      args.replications = static_cast<int>(value);
+    } else if (ParseValue(argv[i], "--threads", &value)) {
+      if (value < 0) {
+        std::fprintf(stderr, "error: --threads must be >= 0\n");
+        std::exit(2);
+      }
+      args.threads = static_cast<int>(value);
+    } else if (ParseValue(argv[i], "--seed", &value)) {
+      args.seed = static_cast<std::uint64_t>(value);
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", argv[i]);
+      PrintUsage(argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+int ResolvedThreads(const BenchArgs& args) {
+  if (args.threads > 0) return args.threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace wimpy

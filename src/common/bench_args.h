@@ -1,0 +1,38 @@
+// Shared command-line surface for the bench binaries.
+//
+// Every converted bench accepts the same sweep flags:
+//
+//   --replications=N   seeds per configuration (default 1: the paper's
+//                      single-run tables, same output shape as the
+//                      pre-sweep binaries)
+//   --threads=K        worker threads for the replication runner
+//                      (default 0 = hardware concurrency)
+//   --seed=S           base seed for the deterministic seed tree
+//
+// Results never depend on --threads (see docs/parallel.md); it only
+// changes wall-clock time.
+#ifndef WIMPY_COMMON_BENCH_ARGS_H_
+#define WIMPY_COMMON_BENCH_ARGS_H_
+
+#include <cstdint>
+
+namespace wimpy {
+
+struct BenchArgs {
+  int replications = 1;
+  int threads = 0;  // 0 = std::thread::hardware_concurrency()
+  std::uint64_t seed = 0x5EED2016;
+};
+
+// Parses the shared flags above; prints usage and exits(2) on an unknown
+// or malformed argument, exits(0) on --help. Unrelated binaries stay
+// flag-free by simply not calling this.
+BenchArgs ParseBenchArgs(int argc, char** argv);
+
+// --threads resolved: the explicit value, else hardware concurrency
+// (at least 1).
+int ResolvedThreads(const BenchArgs& args);
+
+}  // namespace wimpy
+
+#endif  // WIMPY_COMMON_BENCH_ARGS_H_

@@ -1,0 +1,51 @@
+// Replication statistics for multi-seed sweeps (see docs/parallel.md).
+//
+// A sweep runs N independent replications of an experiment and reports
+// each scalar metric (throughput, joules, latency, ...) as a mean with a
+// 95% confidence interval over the replications — the presentation the
+// SBC-cluster literature asks of energy/performance claims. The interval
+// uses the two-sided Student-t quantile, so it is honest at the small
+// replication counts (3-30) benches actually use.
+#ifndef WIMPY_COMMON_SUMMARY_H_
+#define WIMPY_COMMON_SUMMARY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wimpy {
+
+// Summary of one scalar metric over n replications.
+struct MetricSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  // Half-width of the 95% CI: t_{0.975,n-1} * stddev / sqrt(n).
+  // Zero for fewer than 2 samples (no spread is estimable).
+  double ci95_half_width = 0.0;
+};
+
+// Two-sided 95% Student-t quantile (t_{0.975,dof}); 0 for dof == 0.
+// Exact table through dof 30, interpolated beyond, 1.96 asymptote.
+double StudentT95(std::size_t dof);
+
+MetricSummary Summarize(const std::vector<double>& samples);
+
+// Extracts metric(r) for every replication result and summarizes.
+template <typename T, typename F>
+MetricSummary SummarizeOver(const std::vector<T>& replications, F metric) {
+  std::vector<double> samples;
+  samples.reserve(replications.size());
+  for (const auto& r : replications) samples.push_back(metric(r));
+  return Summarize(samples);
+}
+
+// "310" for a single replication, "310±12" for several (± is the 95% CI
+// half-width, same decimals as the mean).
+std::string FormatMeanCI(const MetricSummary& s, int decimals);
+
+}  // namespace wimpy
+
+#endif  // WIMPY_COMMON_SUMMARY_H_

@@ -17,6 +17,18 @@ void TextTable::AddRow(std::initializer_list<std::string> row) {
   rows_.emplace_back(row);
 }
 
+namespace {
+// Display width in code points, not bytes — cells may carry multi-byte
+// UTF-8 like the ± in mean±CI columns. Counts non-continuation bytes.
+std::size_t DisplayWidth(const std::string& s) {
+  std::size_t w = 0;
+  for (unsigned char c : s) {
+    if ((c & 0xC0) != 0x80) ++w;
+  }
+  return w;
+}
+}  // namespace
+
 std::string TextTable::ToString() const {
   std::size_t cols = header_.size();
   for (const auto& row : rows_) cols = std::max(cols, row.size());
@@ -24,7 +36,7 @@ std::string TextTable::ToString() const {
   std::vector<std::size_t> widths(cols, 0);
   auto widen = [&](const std::vector<std::string>& row) {
     for (std::size_t i = 0; i < row.size(); ++i) {
-      widths[i] = std::max(widths[i], row[i].size());
+      widths[i] = std::max(widths[i], DisplayWidth(row[i]));
     }
   };
   widen(header_);
@@ -36,7 +48,7 @@ std::string TextTable::ToString() const {
       const std::string& cell = i < row.size() ? row[i] : std::string();
       line += ' ';
       line += cell;
-      line.append(widths[i] - cell.size() + 1, ' ');
+      line.append(widths[i] - DisplayWidth(cell) + 1, ' ');
       line += '|';
     }
     line += '\n';

@@ -122,44 +122,52 @@ HardwareProfile RaspberryPi2Profile() {
 
 namespace {
 
-std::mutex& RegistryMutex() {
-  static std::mutex* m = new std::mutex;
-  return *m;
-}
+// The registry is read concurrently by replication workers (see
+// docs/parallel.md), so its one-time initialization must be race-free
+// under concurrent *first* access from any entry point. The mutex and map
+// share one never-destroyed instance whose built-in profiles are installed
+// via std::call_once before any caller can observe the map; mutations and
+// reads after that serialize on the mutex.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, HardwareProfile> map;
+};
 
-std::map<std::string, HardwareProfile>& RegistryMap() {
-  static auto* map = [] {
-    auto* m = new std::map<std::string, HardwareProfile>;
+Registry& GetRegistry() {
+  static std::once_flag init;
+  static Registry* registry = new Registry;
+  std::call_once(init, [] {
     for (const auto& p :
          {EdisonProfile(), DellR620Profile(), RaspberryPi2Profile()}) {
-      (*m)[p.name] = p;
+      registry->map[p.name] = p;
     }
-    return m;
-  }();
-  return *map;
+  });
+  return *registry;
 }
 
 }  // namespace
 
 void ProfileRegistry::Register(const HardwareProfile& profile) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
-  RegistryMap()[profile.name] = profile;
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.map[profile.name] = profile;
 }
 
 StatusOr<HardwareProfile> ProfileRegistry::Get(const std::string& name) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
-  auto& map = RegistryMap();
-  auto it = map.find(name);
-  if (it == map.end()) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.map.find(name);
+  if (it == r.map.end()) {
     return Status::NotFound("no hardware profile named '" + name + "'");
   }
   return it->second;
 }
 
 std::vector<std::string> ProfileRegistry::Names() {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
   std::vector<std::string> names;
-  for (const auto& [name, profile] : RegistryMap()) names.push_back(name);
+  for (const auto& [name, profile] : r.map) names.push_back(name);
   return names;
 }
 

@@ -99,7 +99,7 @@ void FairShareServer::Advance() {
 }
 
 void FairShareServer::Reschedule() {
-  if (pending_event_ != 0) {
+  if (jobs_.empty() && pending_event_ != 0) {
     sched_->Cancel(pending_event_);
     pending_event_ = 0;
   }
@@ -116,7 +116,16 @@ void FairShareServer::Reschedule() {
   const double rate = CurrentRatePerJob();
   const double min_remaining =
       std::max(0.0, jobs_.top().finish_threshold - served_per_job_);
-  pending_event_ = sched_->ScheduleAfter(min_remaining / rate,
+  const Duration delay = min_remaining / rate;
+  // Re-arm the pending completion event in place when one exists: same
+  // semantics as Cancel + ScheduleAfter (fresh sequence number, identical
+  // ordering) but the heap slot and closure are reused, so the dominant
+  // arrival path pays no slot free/acquire pair and leaves no dead link.
+  if (pending_event_ != 0) {
+    pending_event_ = sched_->RescheduleAfter(pending_event_, delay);
+    if (pending_event_ != 0) return;
+  }
+  pending_event_ = sched_->ScheduleAfter(delay,
                                          [this] { OnCompletionEvent(); });
 }
 

@@ -1,0 +1,63 @@
+#include "sim/replication.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace wimpy::sim {
+
+std::uint64_t ReplicationSeed(std::uint64_t base_seed, int config_index,
+                              int rep_index) {
+  // splitmix64 finalizer over a counter built from the three inputs. The
+  // golden-ratio strides keep (config, rep) cells far apart even for
+  // adjacent indices; the final mix decorrelates the xoshiro states the
+  // Rng constructor expands from the seed.
+  std::uint64_t z = base_seed;
+  z += 0x9e3779b97f4a7c15ULL *
+       (static_cast<std::uint64_t>(config_index) + 1);
+  z += 0xbf58476d1ce4e5b9ULL * (static_cast<std::uint64_t>(rep_index) + 1);
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z;
+}
+
+namespace internal {
+
+void RunIndexedTasks(int n_tasks, int threads,
+                     const std::function<void(int)>& fn) {
+  if (n_tasks <= 0) return;
+  if (threads > n_tasks) threads = n_tasks;
+  if (threads <= 1) {
+    for (int i = 0; i < n_tasks; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<int> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    for (;;) {
+      const int task = next.fetch_add(1, std::memory_order_relaxed);
+      if (task >= n_tasks) return;
+      try {
+        fn(task);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace internal
+}  // namespace wimpy::sim

@@ -26,15 +26,9 @@ std::size_t Scheduler::CacheIndex(SimTime t) {
   return static_cast<std::size_t>(bits) & (kCacheSize - 1);
 }
 
-EventId Scheduler::ScheduleAt(SimTime t, EventFn fn) {
-  if (t < now_) t = now_;
-  if (fn.heap_allocated()) ++fn_heap_allocs_;
-  const std::uint32_t slot = AcquireSlot();
+EventId Scheduler::LinkSlot(std::uint32_t slot, SimTime t) {
   Slot& s = slots_[slot];
-  s.fn = std::move(fn);
-  s.seq = next_seq_++;
   s.next_key = kNullKey;
-  ++live_scheduled_;
   const std::uint64_t key = ChainKey(s.seq, slot);
 
   if (chain_cache_.empty()) chain_cache_.resize(kCacheSize);
@@ -43,7 +37,8 @@ EventId Scheduler::ScheduleAt(SimTime t, EventFn fn) {
   // (seq match) and it is still a tail. Which same-time chain it belongs
   // to does not matter: every chain is internally seq-sorted, and the
   // heap merges chain heads by (time, seq), so the global order stays
-  // exact either way.
+  // exact either way. A self-append is impossible: `s.seq` was freshly
+  // assigned and has never been written to the cache.
   if (c.time == t && c.tail_seq != 0) {
     Slot& tail = slots_[c.tail];
     if (tail.seq == c.tail_seq && tail.next_key == kNullKey) {
@@ -60,6 +55,17 @@ EventId Scheduler::ScheduleAt(SimTime t, EventFn fn) {
   c.tail_seq = s.seq;
   c.tail = slot;
   return key;
+}
+
+EventId Scheduler::ScheduleAt(SimTime t, EventFn fn) {
+  if (t < now_) t = now_;
+  if (fn.heap_allocated()) ++fn_heap_allocs_;
+  const std::uint32_t slot = AcquireSlot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.seq = next_seq_++;
+  ++live_scheduled_;
+  return LinkSlot(slot, t);
 }
 
 EventId Scheduler::ScheduleAfter(Duration delay, EventFn fn) {
@@ -79,6 +85,32 @@ bool Scheduler::Cancel(EventId id) {
   slots_[slot].fn.Reset();
   --live_scheduled_;
   return true;
+}
+
+EventId Scheduler::RescheduleAfter(EventId id, Duration delay) {
+  const std::uint32_t slot = static_cast<std::uint32_t>(id & kSlotMask);
+  const std::uint64_t seq = id >> kSlotBits;
+  if (seq == 0 || slot >= slots_.size() || slots_[slot].seq != seq ||
+      !slots_[slot].fn) {
+    return 0;  // never issued, already ran, or already cancelled
+  }
+  if (delay < 0) delay = 0;
+  const SimTime t = now_ + delay;
+  Slot& s = slots_[slot];
+  if (s.next_key != kNullKey) {
+    // Mid-chain: later links would be lost if this slot were relinked, so
+    // detach the closure and re-enter through the normal path (the dead
+    // link is unhooked lazily, exactly as a Cancel would leave it).
+    EventFn fn = std::move(s.fn);
+    --live_scheduled_;
+    return ScheduleAt(t, std::move(fn));
+  }
+  // Chain tail (or sole member): reuse the slot in place under a fresh
+  // sequence number. The old chain now ends at this link — any stale
+  // reference {old seq, slot} fails its sequence check in ResolveTop and
+  // is treated as the chain end without freeing the (live) slot.
+  s.seq = next_seq_++;
+  return LinkSlot(slot, t);
 }
 
 void Scheduler::ResumeLater(std::coroutine_handle<> handle) {
@@ -145,7 +177,15 @@ void Scheduler::ResolveTop() {
     const std::uint32_t head =
         static_cast<std::uint32_t>(heap_[0].key & kSlotMask);
     Slot& s = slots_[head];
-    assert(s.seq == heap_[0].key >> kSlotBits);
+    if (s.seq != heap_[0].key >> kSlotBits) {
+      // The slot moved on since this link was forged — it was a chain
+      // tail rescheduled in place (RescheduleAfter), and the slot now
+      // lives in another chain under a newer sequence number (or has
+      // since fired and been reacquired). Either way this chain ends
+      // here; the slot itself must not be freed.
+      PopRootEntry();
+      continue;
+    }
     if (s.fn) return;
     const std::uint64_t next_key = s.next_key;
     FreeSlot(head);

@@ -78,6 +78,18 @@ class Scheduler {
   // was cancelled before.
   bool Cancel(EventId id);
 
+  // Re-arms a pending event at `now + delay`, keeping its closure: the
+  // semantic equivalent of Cancel(id) + ScheduleAfter(delay, same fn) —
+  // the event consumes a fresh sequence number, so ordering against other
+  // events is identical — without destroying and reconstructing the
+  // closure. When the event is the tail of its timestamp chain (the
+  // overwhelmingly common case for the arm/cancel/re-arm pattern of
+  // FairShareServer::Reschedule), its slot is reused in place, saving the
+  // slot free/acquire pair and leaving no dead link behind in the old
+  // chain. Returns the new EventId (the old one goes stale), or 0 if `id`
+  // already ran or was cancelled — the caller should then schedule afresh.
+  EventId RescheduleAfter(EventId id, Duration delay);
+
   // Schedules a coroutine resumption at the current time via the fast
   // lane: the raw handle is pushed onto a FIFO ring (no allocation, no
   // heap operation) and drained in (time, sequence) order exactly as if
@@ -153,6 +165,9 @@ class Scheduler {
   static std::size_t CacheIndex(SimTime t);
 
   std::uint32_t AcquireSlot();
+  // Links an occupied slot (seq already assigned) into the chain/cache/
+  // heap structures at time `t` and returns its chain key.
+  EventId LinkSlot(std::uint32_t slot, SimTime t);
   void FreeSlot(std::uint32_t slot) {
     Slot& s = slots_[slot];
     s.fn.Reset();

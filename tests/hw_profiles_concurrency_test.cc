@@ -1,0 +1,75 @@
+// Concurrency smoke test for the hardware profile registry. Run under
+// ThreadSanitizer to make it meaningful:
+//   cmake -B build-tsan -S . -DWIMPY_TSAN=ON && cmake --build build-tsan -j
+//   ctest --test-dir build-tsan -R 'replication|profiles_concurrency'
+//
+// The hazard it targets: this binary's FIRST registry access happens on
+// many threads at once, so lazy initialisation of the built-in profiles
+// races unless guarded (src/hw/profiles.cc uses call_once + a mutex).
+// Keep any earlier registry use out of this file.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hw/profiles.h"
+
+namespace wimpy::hw {
+namespace {
+
+TEST(ProfileRegistryConcurrencyTest, FirstAccessAndMixedOpsAreRaceFree) {
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 200;
+
+  std::atomic<bool> go{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([t, &go, &failures] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kItersPerThread; ++i) {
+        switch ((t + i) % 4) {
+          case 0: {
+            const auto p = ProfileRegistry::Get("edison");
+            if (!p.ok() || p.value().cpu.cores != 2) failures.fetch_add(1);
+            break;
+          }
+          case 1: {
+            const auto p = ProfileRegistry::Get("dell-r620");
+            if (!p.ok() || p.value().cpu.cores != 6) failures.fetch_add(1);
+            break;
+          }
+          case 2: {
+            const auto names = ProfileRegistry::Names();
+            if (names.size() < 3) failures.fetch_add(1);
+            break;
+          }
+          default: {
+            HardwareProfile p = EdisonProfile();
+            p.name = "edison-writer-" + std::to_string(t);
+            ProfileRegistry::Register(p);
+            if (!ProfileRegistry::Get(p.name).ok()) failures.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  // Built-ins survive concurrent writer traffic.
+  EXPECT_TRUE(ProfileRegistry::Get("edison").ok());
+  EXPECT_TRUE(ProfileRegistry::Get("dell-r620").ok());
+  EXPECT_TRUE(ProfileRegistry::Get("raspberry-pi-2").ok());
+  const auto names = ProfileRegistry::Names();
+  EXPECT_GE(names.size(), 3u + 8u);
+}
+
+}  // namespace
+}  // namespace wimpy::hw

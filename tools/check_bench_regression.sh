@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Re-runs the engine microbenchmarks (the four scheduler/fair-share
+# families plus the BM_ParallelSweep replication runner) and compares mean
+# throughput against the checked-in BENCH_engine.json. Exits nonzero if
+# any benchmark regressed by more than THRESHOLD_PCT percent — the CI-able
+# guard for the engine's performance envelope (docs/engine.md).
+#
+# Usage:
+#   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
+#   tools/check_bench_regression.sh
+#   BUILD_DIR=out THRESHOLD_PCT=10 REPS=9 tools/check_bench_regression.sh
+#
+# Benchmarks present in only one of the two runs (e.g. newly added ones
+# with no baseline yet) are reported but never fail the check.
+#
+# The comparison uses the median over REPS repetitions, but on shared or
+# virtualized hosts (CPU steal, frequency scaling) run-to-run medians can
+# still swing past 20%; raise REPS and/or THRESHOLD_PCT there, and treat
+# a failure as "re-run before believing", not proof of a regression.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+BASELINE="${BASELINE:-BENCH_engine.json}"
+THRESHOLD_PCT="${THRESHOLD_PCT:-20}"
+REPS="${REPS:-5}"
+
+if [[ ! -f "${BASELINE}" ]]; then
+  echo "error: baseline ${BASELINE} not found" >&2
+  exit 1
+fi
+
+CURRENT="$(mktemp /tmp/bench_engine.XXXXXX.json)"
+trap 'rm -f "${CURRENT}"' EXIT
+
+BUILD_DIR="${BUILD_DIR}" OUT="${CURRENT}" REPS="${REPS}" \
+  tools/run_engine_bench.sh
+
+python3 - "${BASELINE}" "${CURRENT}" "${THRESHOLD_PCT}" <<'EOF'
+import json
+import sys
+
+baseline_path, current_path, threshold_pct = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def items_per_second(path):
+    """run_name -> items/sec. Prefers the median aggregate (robust to the
+    outlier repetitions shared/virtualized hosts produce), falls back to
+    mean, then to raw iteration entries (REPS=1)."""
+    with open(path) as f:
+        data = json.load(f)
+    by_rank = {}
+    for b in data.get("benchmarks", []):
+        ips = b.get("items_per_second")
+        if ips is None:
+            continue
+        if b.get("run_type") == "aggregate":
+            rank = {"median": 0, "mean": 1}.get(b.get("aggregate_name"))
+            if rank is not None:
+                by_rank.setdefault(b["run_name"], {})[rank] = ips
+        else:
+            by_rank.setdefault(b["name"], {}).setdefault(2, ips)
+    return {name: ranks[min(ranks)] for name, ranks in by_rank.items()}
+
+base = items_per_second(baseline_path)
+curr = items_per_second(current_path)
+
+failures = []
+print(f"\n{'benchmark':44s} {'baseline':>12s} {'current':>12s} {'delta':>8s}")
+for name in sorted(set(base) | set(curr)):
+    if name not in base:
+        print(f"{name:44s} {'(none)':>12s} {curr[name]:12.3e}    new")
+        continue
+    if name not in curr:
+        print(f"{name:44s} {base[name]:12.3e} {'(none)':>12s}    gone")
+        continue
+    delta_pct = 100.0 * (curr[name] - base[name]) / base[name]
+    verdict = "ok"
+    if delta_pct < -threshold_pct:
+        verdict = "REGRESSED"
+        failures.append((name, delta_pct))
+    print(f"{name:44s} {base[name]:12.3e} {curr[name]:12.3e} {delta_pct:+7.1f}% {verdict}")
+
+if failures:
+    print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
+          f"{threshold_pct:.0f}% vs {baseline_path}:")
+    for name, delta in failures:
+        print(f"  {name}: {delta:+.1f}%")
+    sys.exit(1)
+print(f"\nOK: no benchmark regressed more than {threshold_pct:.0f}% "
+      f"vs {baseline_path}.")
+EOF
