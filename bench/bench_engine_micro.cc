@@ -10,6 +10,7 @@
 #include "kernels/sysbench.h"
 #include "mapreduce/compute.h"
 #include "mapreduce/textgen.h"
+#include "obs/tracer.h"
 #include "sim/fair_share.h"
 #include "sim/process.h"
 #include "sim/replication.h"
@@ -33,6 +34,29 @@ void BM_SchedulerEventThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_SchedulerEventThroughput)->Arg(10000)->Arg(100000);
+
+// Same loop with an obs::Tracer engine hook attached: every executed
+// event records one kEngine instant. The delta over the untraced variant
+// is the full (enabled) tracing cost; the untraced variant itself pins
+// the disabled-path overhead against BENCH_engine.json (<= 2%,
+// tools/check_bench_regression.sh).
+void BM_SchedulerEventThroughputTraced(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    obs::Tracer tracer;
+    tracer.AttachEngineHook(&sched);
+    const int n = static_cast<int>(state.range(0));
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      sched.ScheduleAt(static_cast<double>(i % 97), [&fired] { ++fired; });
+    }
+    sched.Run();
+    benchmark::DoNotOptimize(fired);
+    benchmark::DoNotOptimize(tracer.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerEventThroughputTraced)->Arg(100000);
 
 // Arm/cancel/re-arm churn, the FairShareServer::Reschedule pattern: every
 // simulated arrival cancels the pending completion event and arms a new

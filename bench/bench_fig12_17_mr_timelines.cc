@@ -2,10 +2,21 @@
 // cluster power and map/reduce progress for wordcount, wordcount2 and the
 // pi estimator, on the 35-slave Edison cluster and the 2-slave Dell
 // cluster (each with a Dell master excluded from the power trace).
+//
+// --trace exports one Chrome-trace pid per run (Figure order: wordcount
+// Edison, wordcount Dell, wordcount2 Edison, ...), with a span per
+// map/reduce attempt — the timelines of Figures 12-17 as a Perfetto
+// flame chart. --metrics exports the per-slave/YARN/HDFS time series
+// (docs/observability.md).
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "common/bench_args.h"
 #include "core/experiments.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "obs_bench_util.h"
 
 namespace {
 
@@ -35,8 +46,25 @@ void PrintTimeline(const std::string& title,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using core::PaperJob;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  const bool want_trace = !args.trace_path.empty();
+  const bool want_metrics = !args.metrics_path.empty();
+  std::vector<obs::TraceLog> logs;
+  std::vector<obs::MetricsSeries> series;
+  // Runs one paper job with per-run observability capture; logs merge in
+  // run order.
+  auto run_job = [&](PaperJob job, mapreduce::MrClusterConfig cfg) {
+    obs::Tracer tracer;
+    obs::MetricsRegistry metrics;
+    if (want_trace) cfg.tracer = &tracer;
+    if (want_metrics) cfg.metrics = &metrics;
+    const auto result = core::RunPaperJob(job, std::move(cfg));
+    if (want_trace) logs.push_back(tracer.TakeLog());
+    if (want_metrics) series.push_back(metrics.TakeSeries());
+    return result;
+  };
 
   struct Case {
     PaperJob job;
@@ -55,12 +83,12 @@ int main() {
   };
 
   for (const auto& c : cases) {
-    const auto edison = core::RunPaperJob(c.job, mapreduce::EdisonMrCluster(35));
+    const auto edison = run_job(c.job, mapreduce::EdisonMrCluster(35));
     PrintTimeline(std::string(c.edison_fig) + ": " +
                       std::string(core::PaperJobName(c.job)) +
                       " on Edison cluster (paper: " + c.paper_edison + ")",
                   edison);
-    const auto dell = core::RunPaperJob(c.job, mapreduce::DellMrCluster(2));
+    const auto dell = run_job(c.job, mapreduce::DellMrCluster(2));
     PrintTimeline(std::string(c.dell_fig) + ": " +
                       std::string(core::PaperJobName(c.job)) +
                       " on Dell cluster (paper: " + c.paper_dell + ")",
@@ -72,5 +100,6 @@ int main() {
       "(~45 s on Edison vs ~20 s on Dell for wordcount); wordcount2 cuts\n"
       "completion time 41%% on Edison and 69%% on Dell; pi pins CPU at\n"
       "100%% on both and is the one job where Dell wins on energy.\n");
+  bench::ExportObsLogs(args, logs, series);
   return 0;
 }

@@ -13,6 +13,9 @@
 #include "common/csv.h"
 #include "common/summary.h"
 #include "common/table.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "obs_bench_util.h"
 #include "sim/replication.h"
 #include "web_bench_util.h"
 
@@ -31,9 +34,12 @@ struct CellResult {
   double error_rate = 0;
   double delay_ms = 0;
   double power = 0;
+  obs::TraceLog trace;
+  obs::MetricsSeries metrics;
 };
 
-CellResult RunCell(const Cell& cell, Rng& root) {
+CellResult RunCell(const Cell& cell, Rng& root, bool want_trace,
+                   bool want_metrics) {
   web::WebTestbedConfig cfg =
       cell.scale.edison
           ? web::EdisonWebTestbed(cell.scale.web_servers,
@@ -41,13 +47,20 @@ CellResult RunCell(const Cell& cell, Rng& root) {
           : web::DellWebTestbed(cell.scale.web_servers,
                                 cell.scale.cache_servers);
   cfg.seed = root.Next();
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  if (want_trace) cfg.tracer = &tracer;
+  if (want_metrics) cfg.metrics = &metrics;
   web::WebExperiment exp(std::move(cfg));
   const web::LevelReport r = exp.MeasureClosedLoop(
       web::LightMix(), cell.concurrency,
       web::WebExperiment::TunedCallsPerConnection(cell.concurrency),
       bench::WarmupWindow(), bench::MeasureWindowFor(cell.concurrency));
-  return {r.achieved_rps, r.error_rate, 1000 * r.mean_response,
-          r.middle_tier_power};
+  CellResult res{r.achieved_rps, r.error_rate, 1000 * r.mean_response,
+                 r.middle_tier_power};
+  if (want_trace) res.trace = tracer.TakeLog();
+  if (want_metrics) res.metrics = metrics.TakeSeries();
+  return res;
 }
 
 }  // namespace
@@ -76,8 +89,13 @@ int main(int argc, char** argv) {
   }
 
   const sim::SweepPlan plan{args.replications, threads, args.seed};
+  const bool want_trace = !args.trace_path.empty();
+  const bool want_metrics = !args.metrics_path.empty();
   const auto t0 = std::chrono::steady_clock::now();
-  const auto sweep = sim::RunSweep(cells, plan, RunCell);
+  auto sweep =
+      sim::RunSweep(cells, plan, [&](const Cell& cell, Rng& root) {
+        return RunCell(cell, root, want_trace, want_metrics);
+      });
   const double sweep_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -135,6 +153,7 @@ int main(int argc, char** argv) {
       "throughput; Edison cluster power ~56-58 W vs Dell 170-200 W ->\n"
       "~3.5x work-done-per-joule at peak; Edison delay ~5x Dell's at low\n"
       "concurrency but Dell's delay explodes past its knee.\n");
+  bench::ExportSweepObs(args, sweep);
   std::printf(
       "\nSweep: %zu configs x %d replication(s) on %d thread(s) in %.2fs.\n",
       cells.size(), plan.replications, threads, sweep_seconds);

@@ -2,14 +2,57 @@
 // clusters (24 Edison / 2 Dell web servers) when the workload is heavier —
 // cache hit ratio lowered to 77% / 60%, or image queries raised to
 // 6% / 10%.
+//
+// Supports multi-seed sweeps: --replications=N runs every
+// (platform, concurrency, mix) cell N times with independent seeds on
+// --threads workers and reports mean±95% CI (docs/parallel.md).
+#include <chrono>
 #include <cstdio>
-#include <functional>
 
+#include "common/bench_args.h"
+#include "common/summary.h"
 #include "common/table.h"
+#include "sim/replication.h"
 #include "web_bench_util.h"
 
-int main() {
-  using namespace wimpy;
+namespace {
+
+using namespace wimpy;
+using bench::WebScale;
+
+struct Cell {
+  WebScale scale;
+  double concurrency = 0;
+  web::WorkloadMix mix;
+};
+
+struct CellResult {
+  double rps = 0;
+  double error_rate = 0;
+  double delay_ms = 0;
+};
+
+CellResult RunCell(const Cell& cell, Rng& root) {
+  web::WebTestbedConfig cfg =
+      cell.scale.edison
+          ? web::EdisonWebTestbed(cell.scale.web_servers,
+                                  cell.scale.cache_servers)
+          : web::DellWebTestbed(cell.scale.web_servers,
+                                cell.scale.cache_servers);
+  cfg.seed = root.Next();
+  web::WebExperiment exp(std::move(cfg));
+  const web::LevelReport r = exp.MeasureClosedLoop(
+      cell.mix, cell.concurrency,
+      web::WebExperiment::TunedCallsPerConnection(cell.concurrency),
+      bench::WarmupWindow(), bench::MeasureWindowFor(cell.concurrency));
+  return {r.achieved_rps, r.error_rate, 1000 * r.mean_response};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  const int threads = ResolvedThreads(args);
 
   struct MixCase {
     std::string label;
@@ -21,10 +64,27 @@ int main() {
       {"img=6%", web::MixWithImagePercent(0.06)},
       {"img=10%", web::MixWithImagePercent(0.10)},
   };
+  const std::vector<WebScale> scales = {bench::EdisonScales().back(),
+                                        bench::DellScales().back()};
+  const std::vector<double> levels = bench::ConcurrencyLevels();
 
-  for (bool edison : {true, false}) {
-    const bench::WebScale scale =
-        edison ? bench::EdisonScales().back() : bench::DellScales().back();
+  // Grid in print order: platform, then concurrency, then mix.
+  std::vector<Cell> cells;
+  for (const auto& scale : scales) {
+    for (double conc : levels) {
+      for (const auto& c : cases) cells.push_back({scale, conc, c.mix});
+    }
+  }
+
+  const sim::SweepPlan plan{args.replications, threads, args.seed};
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto sweep = sim::RunSweep(cells, plan, RunCell);
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  int cell_idx = 0;
+  for (const auto& scale : scales) {
     TextTable rps(std::string("Figure 5: requests/sec — ") + scale.label +
                   " web servers");
     TextTable delay(std::string("Figure 8: mean delay (ms) — ") +
@@ -34,20 +94,23 @@ int main() {
     rps.SetHeader(header);
     delay.SetHeader(header);
 
-    for (double conc : bench::ConcurrencyLevels()) {
+    for (double conc : levels) {
       std::vector<std::string> rps_row{TextTable::Num(conc, 0)};
       std::vector<std::string> delay_row{TextTable::Num(conc, 0)};
-      for (const auto& c : cases) {
-        web::WebExperiment exp = bench::MakeExperiment(scale);
-        const web::LevelReport r = exp.MeasureClosedLoop(
-            c.mix, conc, web::WebExperiment::TunedCallsPerConnection(conc),
-            bench::WarmupWindow(), bench::MeasureWindowFor(conc));
-        std::string cell = TextTable::Num(r.achieved_rps, 0);
-        if (r.error_rate > 0.01) {
-          cell += " (err " + TextTable::Num(100 * r.error_rate, 0) + "%)";
+      for (std::size_t i = 0; i < cases.size(); ++i) {
+        const auto& reps = sweep[cell_idx++];
+        const MetricSummary rate =
+            SummarizeOver(reps, [](const CellResult& r) { return r.rps; });
+        const MetricSummary errors = SummarizeOver(
+            reps, [](const CellResult& r) { return r.error_rate; });
+        const MetricSummary delay_ms = SummarizeOver(
+            reps, [](const CellResult& r) { return r.delay_ms; });
+        std::string cell = FormatMeanCI(rate, 0);
+        if (errors.mean > 0.01) {
+          cell += " (err " + TextTable::Num(100 * errors.mean, 0) + "%)";
         }
         rps_row.push_back(cell);
-        delay_row.push_back(TextTable::Num(1000 * r.mean_response, 1));
+        delay_row.push_back(FormatMeanCI(delay_ms, 1));
       }
       rps.AddRow(rps_row);
       delay.AddRow(delay_row);
@@ -63,5 +126,8 @@ int main() {
       "across these mixes, but the 1024-concurrency point drops sharply\n"
       "as image share rises, and delays roughly double even at low\n"
       "concurrency when images are in the mix.\n");
+  std::printf(
+      "\nSweep: %zu configs x %d replication(s) on %d thread(s) in %.2fs.\n",
+      cells.size(), plan.replications, threads, sweep_seconds);
   return 0;
 }

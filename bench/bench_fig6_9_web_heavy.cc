@@ -2,19 +2,76 @@
 // queries, 93% cache hit ratio — the fraction that half-fills an Edison
 // NIC so neither room uplink biases the comparison) across the full scale
 // ladder, with cluster power.
+//
+// Supports multi-seed sweeps: --replications=N runs every
+// (concurrency, scale) cell N times with independent seeds on --threads
+// workers and reports mean±95% CI (docs/parallel.md).
+#include <chrono>
 #include <cstdio>
 
+#include "common/bench_args.h"
 #include "common/csv.h"
+#include "common/summary.h"
 #include "common/table.h"
+#include "sim/replication.h"
 #include "web_bench_util.h"
 
-int main() {
-  using namespace wimpy;
-  using bench::WebScale;
+namespace {
 
-  const web::WorkloadMix mix = web::HeavyMix();
+using namespace wimpy;
+using bench::WebScale;
+
+struct Cell {
+  WebScale scale;
+  double concurrency = 0;
+};
+
+struct CellResult {
+  double rps = 0;
+  double error_rate = 0;
+  double delay_ms = 0;
+  double power = 0;
+};
+
+CellResult RunCell(const Cell& cell, Rng& root) {
+  web::WebTestbedConfig cfg =
+      cell.scale.edison
+          ? web::EdisonWebTestbed(cell.scale.web_servers,
+                                  cell.scale.cache_servers)
+          : web::DellWebTestbed(cell.scale.web_servers,
+                                cell.scale.cache_servers);
+  cfg.seed = root.Next();
+  web::WebExperiment exp(std::move(cfg));
+  const web::LevelReport r = exp.MeasureClosedLoop(
+      web::HeavyMix(), cell.concurrency,
+      web::WebExperiment::TunedCallsPerConnection(cell.concurrency),
+      bench::WarmupWindow(), bench::MeasureWindowFor(cell.concurrency));
+  return {r.achieved_rps, r.error_rate, 1000 * r.mean_response,
+          r.middle_tier_power};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  const int threads = ResolvedThreads(args);
+
   std::vector<WebScale> scales = bench::EdisonScales();
   for (const auto& s : bench::DellScales()) scales.push_back(s);
+  const std::vector<double> levels = bench::ConcurrencyLevels();
+
+  // Row-major (concurrency, scale) grid, matching the table iteration.
+  std::vector<Cell> cells;
+  for (double conc : levels) {
+    for (const auto& scale : scales) cells.push_back({scale, conc});
+  }
+
+  const sim::SweepPlan plan{args.replications, threads, args.seed};
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto sweep = sim::RunSweep(cells, plan, RunCell);
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
 
   TextTable rps(
       "Figure 6: requests/sec vs concurrency (20% image, 93% cache) + "
@@ -30,32 +87,38 @@ int main() {
 
   double edison_peak = 0, dell_peak = 0;
   double edison_peak_power = 0, dell_peak_power = 0;
-  for (double conc : bench::ConcurrencyLevels()) {
+  int cell_idx = 0;
+  for (double conc : levels) {
     std::vector<std::string> rps_row{TextTable::Num(conc, 0)};
     std::vector<std::string> delay_row{TextTable::Num(conc, 0)};
     double epow = 0, dpow = 0;
     for (const auto& scale : scales) {
-      web::WebExperiment exp = bench::MakeExperiment(scale);
-      const web::LevelReport r = exp.MeasureClosedLoop(
-          mix, conc, web::WebExperiment::TunedCallsPerConnection(conc),
-          bench::WarmupWindow(), bench::MeasureWindowFor(conc));
-      std::string cell = TextTable::Num(r.achieved_rps, 0);
-      if (r.error_rate > 0.01) {
-        cell += " (err " + TextTable::Num(100 * r.error_rate, 0) + "%)";
+      const auto& reps = sweep[cell_idx++];
+      const MetricSummary rate =
+          SummarizeOver(reps, [](const CellResult& r) { return r.rps; });
+      const MetricSummary errors = SummarizeOver(
+          reps, [](const CellResult& r) { return r.error_rate; });
+      const MetricSummary delay_ms = SummarizeOver(
+          reps, [](const CellResult& r) { return r.delay_ms; });
+      const MetricSummary power =
+          SummarizeOver(reps, [](const CellResult& r) { return r.power; });
+      std::string cell = FormatMeanCI(rate, 0);
+      if (errors.mean > 0.01) {
+        cell += " (err " + TextTable::Num(100 * errors.mean, 0) + "%)";
       }
       rps_row.push_back(cell);
-      delay_row.push_back(TextTable::Num(1000 * r.mean_response, 1));
+      delay_row.push_back(FormatMeanCI(delay_ms, 1));
       if (scale.label == "24 Edison") {
-        epow = r.middle_tier_power;
-        if (r.error_rate <= 0.01 && r.achieved_rps > edison_peak) {
-          edison_peak = r.achieved_rps;
+        epow = power.mean;
+        if (errors.mean <= 0.01 && rate.mean > edison_peak) {
+          edison_peak = rate.mean;
           edison_peak_power = epow;
         }
       }
       if (scale.label == "2 Dell") {
-        dpow = r.middle_tier_power;
-        if (r.error_rate <= 0.01 && r.achieved_rps > dell_peak) {
-          dell_peak = r.achieved_rps;
+        dpow = power.mean;
+        if (errors.mean <= 0.01 && rate.mean > dell_peak) {
+          dell_peak = rate.mean;
           dell_peak_power = dpow;
         }
       }
@@ -84,5 +147,8 @@ int main() {
       "half Edison cluster can no longer survive 1024 concurrency; Edison\n"
       "drops from slightly ahead of Dell to slightly behind, but the\n"
       "3.5x energy-efficiency edge persists.\n");
+  std::printf(
+      "\nSweep: %zu configs x %d replication(s) on %d thread(s) in %.2fs.\n",
+      cells.size(), plan.replications, threads, sweep_seconds);
   return 0;
 }

@@ -4,45 +4,113 @@
 // Edison's cache delay blows up with load (slower NICs + in-cluster
 // latency) while its database delay — served by the same two Dell MySQL
 // machines both clusters use — grows only mildly.
+//
+// Supports multi-seed sweeps (--replications/--threads, docs/parallel.md)
+// and observability export (--trace/--metrics, docs/observability.md).
+// The exported metrics CSV's final `svc.*_delay_mean` samples reproduce
+// this table exactly; a test pins that cross-check.
+#include <chrono>
 #include <cstdio>
 
+#include "common/bench_args.h"
 #include "common/csv.h"
+#include "common/summary.h"
 #include "common/table.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "obs_bench_util.h"
+#include "sim/replication.h"
 #include "web_bench_util.h"
 
-int main() {
-  using namespace wimpy;
+namespace {
 
-  const web::WorkloadMix mix = web::HeavyMix();
+using namespace wimpy;
+
+struct Cell {
+  bench::WebScale scale;
+  double rate = 0;
+};
+
+struct CellResult {
+  double db_ms = 0;
+  double cache_ms = 0;
+  double total_ms = 0;
+  obs::TraceLog trace;
+  obs::MetricsSeries metrics;
+};
+
+CellResult RunCell(const Cell& cell, Rng& root, bool want_trace,
+                   bool want_metrics) {
+  web::WebTestbedConfig cfg =
+      cell.scale.edison
+          ? web::EdisonWebTestbed(cell.scale.web_servers,
+                                  cell.scale.cache_servers)
+          : web::DellWebTestbed(cell.scale.web_servers,
+                                cell.scale.cache_servers);
+  cfg.seed = root.Next();
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  if (want_trace) cfg.tracer = &tracer;
+  if (want_metrics) cfg.metrics = &metrics;
+  web::WebExperiment exp(std::move(cfg));
+  const web::OpenLoopReport r =
+      exp.MeasureOpenLoop(web::HeavyMix(), cell.rate,
+                          bench::MeasureWindow());
+  CellResult res{1000 * r.db_delay.mean(), 1000 * r.cache_delay.mean(),
+                 1000 * r.total_delay.mean()};
+  if (want_trace) res.trace = tracer.TakeLog();
+  if (want_metrics) res.metrics = metrics.TakeSeries();
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  const int threads = ResolvedThreads(args);
+
+  const std::vector<double> rates = {480, 960, 1920, 3840, 7680};
+  // Row-major (rate, platform) grid: Edison column first, like the table.
+  std::vector<Cell> cells;
+  for (double rate : rates) {
+    cells.push_back({bench::EdisonScales().back(), rate});
+    cells.push_back({bench::DellScales().back(), rate});
+  }
+
+  const sim::SweepPlan plan{args.replications, threads, args.seed};
+  const bool want_trace = !args.trace_path.empty();
+  const bool want_metrics = !args.metrics_path.empty();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto sweep =
+      sim::RunSweep(cells, plan, [&](const Cell& cell, Rng& root) {
+        return RunCell(cell, root, want_trace, want_metrics);
+      });
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
   TextTable table(
       "Table 7: delay decomposition in ms, (Edison, Dell) per cell");
   table.SetHeader({"# Request/s", "Database delay", "Cache delay",
                    "Total"});
 
-  for (double rate : {480.0, 960.0, 1920.0, 3840.0, 7680.0}) {
-    double e_db = 0, e_cache = 0, e_total = 0;
-    double d_db = 0, d_cache = 0, d_total = 0;
-    for (bool edison : {true, false}) {
-      const bench::WebScale scale = edison ? bench::EdisonScales().back()
-                                           : bench::DellScales().back();
-      web::WebExperiment exp = bench::MakeExperiment(scale);
-      const web::OpenLoopReport r =
-          exp.MeasureOpenLoop(mix, rate, bench::MeasureWindow());
-      if (edison) {
-        e_db = 1000 * r.db_delay.mean();
-        e_cache = 1000 * r.cache_delay.mean();
-        e_total = 1000 * r.total_delay.mean();
-      } else {
-        d_db = 1000 * r.db_delay.mean();
-        d_cache = 1000 * r.cache_delay.mean();
-        d_total = 1000 * r.total_delay.mean();
-      }
-    }
-    auto pair = [](double e, double d) {
-      return "(" + TextTable::Num(e, 2) + ", " + TextTable::Num(d, 2) + ")";
+  int cell_idx = 0;
+  for (double rate : rates) {
+    const auto& edison_reps = sweep[cell_idx++];
+    const auto& dell_reps = sweep[cell_idx++];
+    auto mean = [](const std::vector<CellResult>& reps,
+                   double CellResult::* member) {
+      return SummarizeOver(reps, [member](const CellResult& r) {
+               return r.*member;
+             }).mean;
     };
-    table.AddRow({TextTable::Num(rate, 0), pair(e_db, d_db),
-                  pair(e_cache, d_cache), pair(e_total, d_total)});
+    auto pair = [&](double CellResult::* member) {
+      return "(" + TextTable::Num(mean(edison_reps, member), 2) + ", " +
+             TextTable::Num(mean(dell_reps, member), 2) + ")";
+    };
+    table.AddRow({TextTable::Num(rate, 0), pair(&CellResult::db_ms),
+                  pair(&CellResult::cache_ms),
+                  pair(&CellResult::total_ms)});
   }
   table.Print();
   MaybeExportCsv(table, "table7");
@@ -53,5 +121,9 @@ int main() {
       " 7680: db (10.99, 1.98) cache (212.0, 0.74) total (225.1, 2.93)\n"
       "Shape: Edison cache delay grows ~45x over this range while its DB\n"
       "delay merely doubles; Dell's stays flat throughout.\n");
+  bench::ExportSweepObs(args, sweep);
+  std::printf(
+      "\nSweep: %zu configs x %d replication(s) on %d thread(s) in %.2fs.\n",
+      cells.size(), plan.replications, threads, sweep_seconds);
   return 0;
 }

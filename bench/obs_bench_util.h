@@ -1,0 +1,69 @@
+// Shared observability plumbing for the sweep benches (--trace/--metrics;
+// see docs/observability.md).
+//
+// A bench that supports export gives its per-replication result struct
+// `obs::TraceLog trace` and `obs::MetricsSeries metrics` members, fills
+// them from per-replication Tracer/MetricsRegistry instances inside its
+// RunCell, and calls ExportSweepObs(args, sweep) after the sweep. Logs
+// are flattened in [config][replication] index order — the same merge
+// order RunSweep guarantees for results — so exports are byte-identical
+// at any --threads.
+#ifndef WIMPY_BENCH_OBS_BENCH_UTIL_H_
+#define WIMPY_BENCH_OBS_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "common/bench_args.h"
+#include "obs/export.h"
+
+namespace wimpy::bench {
+
+// Writes already-flattened logs/series to the paths in `args` (used by
+// serial benches that collect one log per run).
+inline void ExportObsLogs(const BenchArgs& args,
+                          const std::vector<obs::TraceLog>& logs,
+                          const std::vector<obs::MetricsSeries>& series) {
+  const bool want_trace = !args.trace_path.empty();
+  const bool want_metrics = !args.metrics_path.empty();
+  if (want_trace) {
+    const Status st = obs::WriteChromeTrace(logs, args.trace_path);
+    if (st.ok()) {
+      std::printf("Trace written to %s (load at ui.perfetto.dev)\n",
+                  args.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   st.message().c_str());
+    }
+  }
+  if (want_metrics) {
+    const Status st = obs::WriteMetricsCsv(series, args.metrics_path);
+    if (st.ok()) {
+      std::printf("Metrics written to %s\n", args.metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   st.message().c_str());
+    }
+  }
+}
+
+template <typename Sweep>
+void ExportSweepObs(const BenchArgs& args, Sweep& sweep) {
+  const bool want_trace = !args.trace_path.empty();
+  const bool want_metrics = !args.metrics_path.empty();
+  if (!want_trace && !want_metrics) return;
+  std::vector<obs::TraceLog> logs;
+  std::vector<obs::MetricsSeries> series;
+  for (auto& per_config : sweep) {
+    for (auto& rep : per_config) {
+      if (want_trace) logs.push_back(std::move(rep.trace));
+      if (want_metrics) series.push_back(std::move(rep.metrics));
+    }
+  }
+  ExportObsLogs(args, logs, series);
+}
+
+}  // namespace wimpy::bench
+
+#endif  // WIMPY_BENCH_OBS_BENCH_UTIL_H_

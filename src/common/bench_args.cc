@@ -13,11 +13,27 @@ namespace {
 void PrintUsage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--replications=N] [--threads=K] [--seed=S]\n"
+               "          [--trace=FILE] [--metrics=FILE]\n"
                "  --replications=N  seeds per configuration (default 1)\n"
                "  --threads=K       sweep worker threads (default: hardware "
                "concurrency)\n"
-               "  --seed=S          base seed for the replication seed tree\n",
+               "  --seed=S          base seed for the replication seed tree\n"
+               "  --trace=FILE      export Chrome trace-event JSON "
+               "(Perfetto-loadable)\n"
+               "  --metrics=FILE    export sampled metrics time series as "
+               "CSV\n",
                prog);
+}
+
+bool ParseString(const char* arg, const char* flag, std::string* out) {
+  const std::size_t n = std::strlen(flag);
+  if (std::strncmp(arg, flag, n) != 0 || arg[n] != '=') return false;
+  if (arg[n + 1] == '\0') {
+    std::fprintf(stderr, "error: empty value in '%s'\n", arg);
+    std::exit(2);
+  }
+  *out = arg + n + 1;
+  return true;
 }
 
 bool ParseValue(const char* arg, const char* flag, long long* out) {
@@ -56,6 +72,9 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.threads = static_cast<int>(value);
     } else if (ParseValue(argv[i], "--seed", &value)) {
       args.seed = static_cast<std::uint64_t>(value);
+    } else if (ParseString(argv[i], "--trace", &args.trace_path) ||
+               ParseString(argv[i], "--metrics", &args.metrics_path)) {
+      // handled
     } else {
       std::fprintf(stderr, "error: unknown argument '%s'\n", argv[i]);
       PrintUsage(argv[0]);

@@ -8,13 +8,19 @@
 //   --threads=K        worker threads for the replication runner
 //                      (default 0 = hardware concurrency)
 //   --seed=S           base seed for the deterministic seed tree
+//   --trace=FILE       export a Chrome trace-event JSON (Perfetto-loadable)
+//                      of the run (benches that support it; see
+//                      docs/observability.md)
+//   --metrics=FILE     export the sampled metrics time series as CSV
 //
 // Results never depend on --threads (see docs/parallel.md); it only
-// changes wall-clock time.
+// changes wall-clock time. Trace and metrics exports are likewise
+// byte-identical for the same --seed at any --threads.
 #ifndef WIMPY_COMMON_BENCH_ARGS_H_
 #define WIMPY_COMMON_BENCH_ARGS_H_
 
 #include <cstdint>
+#include <string>
 
 namespace wimpy {
 
@@ -22,6 +28,8 @@ struct BenchArgs {
   int replications = 1;
   int threads = 0;  // 0 = std::thread::hardware_concurrency()
   std::uint64_t seed = 0x5EED2016;
+  std::string trace_path;    // empty = no trace export
+  std::string metrics_path;  // empty = no metrics export
 };
 
 // Parses the shared flags above; prints usage and exits(2) on an unknown

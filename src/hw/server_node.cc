@@ -1,5 +1,7 @@
 #include "hw/server_node.h"
 
+#include "obs/metrics.h"
+
 namespace wimpy::hw {
 
 ServerNode::ServerNode(sim::Scheduler* sched, const HardwareProfile& profile,
@@ -14,5 +16,21 @@ ServerNode::ServerNode(sim::Scheduler* sched, const HardwareProfile& profile,
       nic_(sched, profile.nic),
       power_(sched, profile.power, &cpu_.server(), &memory_.bus(),
              &storage_.channel(), &nic_.tx(), &nic_.rx()) {}
+
+void ServerNode::PublishMetrics(obs::MetricsRegistry* registry,
+                                const std::string& prefix) {
+  registry->AddGauge(prefix + ".cpu_busy",
+                     [this] { return cpu_.busy_fraction(); });
+  registry->AddGauge(prefix + ".mem_used",
+                     [this] { return memory_.used_fraction(); });
+  registry->AddGauge(prefix + ".nic_busy",
+                     [this] { return nic_.busy_fraction(); });
+  registry->AddGauge(prefix + ".storage_busy",
+                     [this] { return storage_.busy_fraction(); });
+  registry->AddGauge(prefix + ".power_w",
+                     [this] { return power_.current_watts(); });
+  registry->AddCounter(prefix + ".joules",
+                       [this] { return power_.CumulativeJoules(); });
+}
 
 }  // namespace wimpy::hw

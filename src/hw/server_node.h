@@ -18,6 +18,10 @@
 #include "sim/scheduler.h"
 #include "sim/task.h"
 
+namespace wimpy::obs {
+class MetricsRegistry;
+}  // namespace wimpy::obs
+
 namespace wimpy::hw {
 
 class ServerNode {
@@ -40,6 +44,13 @@ class ServerNode {
 
   // Convenience: executes CPU work expressed in million instructions.
   sim::Task<void> Compute(double minstr) { return cpu_.Execute(minstr); }
+
+  // Registers this node's utilisation/power probes under
+  // `<prefix>.cpu_busy|mem_used|nic_busy|storage_busy|power_w|joules`
+  // (see docs/observability.md). Probes borrow the node: don't sample
+  // the registry after the node is destroyed.
+  void PublishMetrics(obs::MetricsRegistry* registry,
+                      const std::string& prefix);
 
  private:
   sim::Scheduler* sched_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace wimpy::mapreduce {
 
 Hdfs::Hdfs(net::Fabric* fabric, std::vector<hw::ServerNode*> datanodes,
@@ -138,6 +140,15 @@ double Hdfs::DataLocalFraction() const {
   return total_reads_ == 0 ? 0.0
                            : static_cast<double>(local_reads_) /
                                  static_cast<double>(total_reads_);
+}
+
+void Hdfs::PublishMetrics(obs::MetricsRegistry* registry,
+                          const std::string& prefix) {
+  registry->AddCounter(prefix + ".blocks", [this] {
+    return static_cast<double>(total_blocks());
+  });
+  registry->AddGauge(prefix + ".data_local_frac",
+                     [this] { return DataLocalFraction(); });
 }
 
 }  // namespace wimpy::mapreduce

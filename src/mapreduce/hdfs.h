@@ -19,6 +19,10 @@
 #include "net/fabric.h"
 #include "sim/task.h"
 
+namespace wimpy::obs {
+class MetricsRegistry;
+}  // namespace wimpy::obs
+
 namespace wimpy::mapreduce {
 
 struct HdfsBlock {
@@ -77,6 +81,11 @@ class Hdfs {
   // runner; exposed for reports).
   void RecordMapLocality(bool local);
   double DataLocalFraction() const;
+
+  // Registers namenode probes: `<prefix>.blocks` (cumulative blocks
+  // placed) and `<prefix>.data_local_frac`. See docs/observability.md.
+  void PublishMetrics(obs::MetricsRegistry* registry,
+                      const std::string& prefix);
 
  private:
   std::vector<int> PlaceReplicas();

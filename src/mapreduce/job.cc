@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/tracer.h"
+
 namespace wimpy::mapreduce {
 
 MapReduceJob::MapReduceJob(net::Fabric* fabric, Hdfs* hdfs, Yarn* yarn,
@@ -160,6 +162,8 @@ sim::Process MapReduceJob::Driver() {
 
 sim::Process MapReduceJob::MapTask(Split split, int task_index) {
   sim::Scheduler& sched = fabric_->scheduler();
+  obs::ScopedSpan task_span(tracer_, &sched, "map", obs::Category::kTask,
+                            next_span_track_++, task_index);
   Container container =
       co_await yarn_->Allocate(spec_.map_container_mem,
                                split.preferred_nodes);
@@ -273,6 +277,9 @@ sim::Process MapReduceJob::SpeculationMonitor() {
 
 sim::Process MapReduceJob::ReduceTask(int reduce_index) {
   sim::Scheduler& sched = fabric_->scheduler();
+  obs::ScopedSpan task_span(tracer_, &sched, "reduce",
+                            obs::Category::kTask, next_span_track_++,
+                            reduce_index);
   // Guard against the classic slow-start deadlock: reducers hold their
   // containers until every map output arrives, so if they occupied every
   // slot while maps were still pending the job would stall forever. Like

@@ -27,6 +27,10 @@
 #include "sim/process.h"
 #include "sim/wait_queue.h"
 
+namespace wimpy::obs {
+class Tracer;
+}  // namespace wimpy::obs
+
 namespace wimpy::mapreduce {
 
 // Framework-level cost constants (independent of the particular job).
@@ -128,6 +132,12 @@ class MapReduceJob {
   // Duplicate map attempts launched by speculation (0 when disabled).
   int speculative_attempts() const { return speculative_launched_; }
 
+  // Optional span tracing (docs/observability.md): every map/reduce
+  // attempt emits one span on its own track (speculative duplicates get
+  // a distinct track, so spans never interleave within a track). Set
+  // before Start(); the tracer must outlive the job.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct Split {
     Bytes bytes = 0;
@@ -155,6 +165,8 @@ class MapReduceJob {
   FrameworkCosts costs_;
   double efficiency_;
   Rng rng_;
+  obs::Tracer* tracer_ = nullptr;
+  std::int32_t next_span_track_ = 1;
 
   int total_maps_ = 0;
   int completed_maps_ = 0;

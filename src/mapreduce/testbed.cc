@@ -1,6 +1,8 @@
 #include "mapreduce/testbed.h"
 
 #include "hw/profiles.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sim/process.h"
 
 namespace wimpy::mapreduce {
@@ -69,6 +71,16 @@ MrTestbed::MrTestbed(const MrClusterConfig& config)
                                  seeder.Next());
   yarn_ = std::make_unique<Yarn>(slaves_, config_.yarn);
   job_seed_ = seeder.Next();
+
+  if (config_.metrics != nullptr) {
+    for (std::size_t i = 0; i < slaves_.size(); ++i) {
+      slaves_[i]->PublishMetrics(config_.metrics,
+                                 "slave" + std::to_string(i));
+    }
+    yarn_->PublishMetrics(config_.metrics, "yarn");
+    hdfs_->PublishMetrics(config_.metrics, "hdfs");
+    fabric_.PublishMetrics(config_.metrics, "net");
+  }
 }
 
 void MrTestbed::LoadInput(const std::string& prefix, int files,
@@ -79,6 +91,7 @@ void MrTestbed::LoadInput(const std::string& prefix, int files,
 MrRunResult MrTestbed::RunJob(const JobSpec& spec) {
   MapReduceJob job(&fabric_, hdfs_.get(), yarn_.get(), spec, config_.costs,
                    config_.slave_profile.name, job_seed_++);
+  job.set_tracer(config_.tracer);
 
   cluster::MetricsSampler sampler(&cluster_, {"mr-slave"}, Seconds(1));
   sampler.SetProgressProbe([&job] {
@@ -87,17 +100,28 @@ MrRunResult MrTestbed::RunJob(const JobSpec& spec) {
 
   const Joules joules_before = cluster_.CumulativeJoules({"mr-slave"});
   sampler.Start();
+  if (config_.metrics != nullptr) {
+    config_.metrics->Start(&sched_, Seconds(1));
+  }
+  std::unique_ptr<obs::ScopedSpan> job_span;
+  if (config_.tracer != nullptr) {
+    job_span = std::make_unique<obs::ScopedSpan>(
+        config_.tracer, &sched_, "job", obs::Category::kApp, /*track=*/0);
+  }
   sim::ProcessRef ref = job.Start();
 
   // Stop telemetry the moment the job driver finishes so the event queue
   // can drain.
-  auto watcher = [](sim::ProcessRef target,
-                    cluster::MetricsSampler* s) -> sim::Process {
+  auto watcher = [this](sim::ProcessRef target,
+                        cluster::MetricsSampler* s) -> sim::Process {
     co_await target.Join();
     s->Stop();
+    if (config_.metrics != nullptr) config_.metrics->Stop();
   };
   sim::Spawn(sched_, watcher(ref, &sampler));
   sched_.Run();
+  job_span.reset();  // closes the "job" span at the drained end time
+  if (config_.metrics != nullptr) config_.metrics->SampleNow();
 
   MrRunResult result;
   result.job = job.result();

@@ -18,6 +18,11 @@
 #include "mapreduce/job.h"
 #include "mapreduce/yarn.h"
 
+namespace wimpy::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace wimpy::obs
+
 namespace wimpy::mapreduce {
 
 struct MrClusterConfig {
@@ -36,6 +41,13 @@ struct MrClusterConfig {
   int throttled_slaves = 0;
   double throttle_factor = 0.5;
   std::uint64_t seed = 20160501;
+  // Optional observability sinks (docs/observability.md); borrowed, may
+  // be null. With `tracer`, RunJob wraps the job in a span and every
+  // map/reduce attempt gets its own. With `metrics`, the testbed
+  // publishes per-slave utilisation/power, YARN, HDFS and link probes
+  // sampled at 1 s of simulated time for the duration of each job.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // §5.2 tunings: block 16 MB / replication 2 / 600 MB usable / 2 vcores on

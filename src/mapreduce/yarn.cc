@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace wimpy::mapreduce {
 
 Yarn::Yarn(std::vector<hw::ServerNode*> slaves, const YarnConfig& config)
@@ -89,6 +91,20 @@ hw::ServerNode* Yarn::NodeById(int node_id) const {
     if (node->id() == node_id) return node;
   }
   return nullptr;
+}
+
+void Yarn::PublishMetrics(obs::MetricsRegistry* registry,
+                          const std::string& prefix) {
+  registry->AddCounter(prefix + ".containers", [this] {
+    return static_cast<double>(allocated_);
+  });
+  registry->AddGauge(prefix + ".mem_used_frac", [this] {
+    Bytes free = 0;
+    for (const auto& [id, bytes] : free_memory_) free += bytes;
+    const Bytes total = TotalUsableMemory();
+    if (total <= 0) return 0.0;
+    return 1.0 - static_cast<double>(free) / static_cast<double>(total);
+  });
 }
 
 }  // namespace wimpy::mapreduce

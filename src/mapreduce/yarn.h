@@ -16,11 +16,16 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "hw/server_node.h"
 #include "sim/process.h"
 #include "sim/task.h"
+
+namespace wimpy::obs {
+class MetricsRegistry;
+}  // namespace wimpy::obs
 
 namespace wimpy::mapreduce {
 
@@ -84,6 +89,12 @@ class Yarn {
     return config_.node_usable_memory *
            static_cast<Bytes>(slaves_.size());
   }
+
+  // Registers scheduler probes: `<prefix>.containers` (cumulative
+  // allocations) and `<prefix>.mem_used_frac` (allocated fraction of the
+  // cluster's container memory). See docs/observability.md.
+  void PublishMetrics(obs::MetricsRegistry* registry,
+                      const std::string& prefix);
 
  private:
   // Returns the chosen node or nullptr when nothing fits.

@@ -1,6 +1,9 @@
 #include "net/fabric.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "obs/metrics.h"
 
 namespace wimpy::net {
 
@@ -129,6 +132,20 @@ double Fabric::GroupLinkBusyFraction(const std::string& a,
   if (link == nullptr) return 0.0;
   return std::max(link->forward->busy_fraction(),
                   link->backward->busy_fraction());
+}
+
+void Fabric::PublishMetrics(obs::MetricsRegistry* registry,
+                            const std::string& prefix) {
+  // links_ is an ordered map, so probe registration order (and therefore
+  // CSV column order) is deterministic.
+  for (auto& [key, link] : links_) {
+    GroupLink* l = &link;
+    registry->AddGauge(
+        prefix + ".link." + key.first + "-" + key.second, [l] {
+          return std::max(l->forward->busy_fraction(),
+                          l->backward->busy_fraction());
+        });
+  }
 }
 
 }  // namespace wimpy::net

@@ -25,6 +25,10 @@
 #include "sim/process.h"
 #include "sim/task.h"
 
+namespace wimpy::obs {
+class MetricsRegistry;
+}  // namespace wimpy::obs
+
 namespace wimpy::net {
 
 class Fabric {
@@ -63,6 +67,12 @@ class Fabric {
   // Instantaneous utilisation of the group link (0 if none configured).
   double GroupLinkBusyFraction(const std::string& a,
                                const std::string& b) const;
+
+  // Registers one busy-fraction gauge per configured group link, named
+  // `<prefix>.link.<a>-<b>` (see docs/observability.md). Call after all
+  // SetGroupLink calls; links added later are not published.
+  void PublishMetrics(obs::MetricsRegistry* registry,
+                      const std::string& prefix);
 
   sim::Scheduler& scheduler() { return *sched_; }
 

@@ -1,9 +1,14 @@
 #include "net/tcp.h"
 
+#include "obs/metrics.h"
+#include "sim/batch_timer.h"
+
 namespace wimpy::net {
 
 TcpHost::TcpHost(Fabric* fabric, int node_id, const TcpConfig& config)
     : fabric_(fabric), node_id_(node_id), config_(config) {}
+
+TcpHost::~TcpHost() = default;
 
 bool TcpHost::TryEnterBacklog() {
   if (backlog_depth_ >= config_.listen_backlog) return false;
@@ -23,8 +28,14 @@ bool TcpHost::TryOpenConnectionSlot() {
 
 void TcpHost::CloseConnectionSlot() {
   if (config_.time_wait > 0) {
-    // The slot stays occupied through TIME_WAIT.
-    fabric_->scheduler().ScheduleAfter(config_.time_wait, [this] {
+    // The slot stays occupied through TIME_WAIT. Expirations all use the
+    // same fixed delay, so they drain in close order — a batch timer
+    // queue coalesces same-tick expiries into one engine event.
+    if (!time_wait_timers_) {
+      time_wait_timers_ = std::make_unique<sim::BatchTimerQueue>(
+          &fabric_->scheduler(), config_.time_wait);
+    }
+    time_wait_timers_->Arm([this] {
       if (connections_open_ > 0) --connections_open_;
     });
     return;
@@ -40,6 +51,22 @@ bool TcpHost::TryAllocatePort() {
 
 void TcpHost::ReleasePort() {
   if (ports_in_use_ > 0) --ports_in_use_;
+}
+
+void TcpHost::PublishMetrics(obs::MetricsRegistry* registry,
+                             const std::string& prefix) {
+  registry->AddGauge(prefix + ".ports", [this] {
+    return static_cast<double>(ports_in_use_);
+  });
+  registry->AddGauge(prefix + ".conns", [this] {
+    return static_cast<double>(connections_open_);
+  });
+  registry->AddGauge(prefix + ".backlog", [this] {
+    return static_cast<double>(backlog_depth_);
+  });
+  registry->AddCounter(prefix + ".syn_drops", [this] {
+    return static_cast<double>(syn_drops_);
+  });
 }
 
 TcpConnection::TcpConnection(TcpHost* client, TcpHost* server)

@@ -11,11 +11,20 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "common/status.h"
 #include "net/fabric.h"
 #include "sim/semaphore.h"
 #include "sim/task.h"
+
+namespace wimpy::obs {
+class MetricsRegistry;
+}  // namespace wimpy::obs
+
+namespace wimpy::sim {
+class BatchTimerQueue;
+}  // namespace wimpy::sim
 
 namespace wimpy::net {
 
@@ -41,6 +50,7 @@ struct TcpConfig {
 class TcpHost {
  public:
   TcpHost(Fabric* fabric, int node_id, const TcpConfig& config);
+  ~TcpHost();
 
   TcpHost(const TcpHost&) = delete;
   TcpHost& operator=(const TcpHost&) = delete;
@@ -68,6 +78,11 @@ class TcpHost {
   std::int64_t syn_drops() const { return syn_drops_; }
   void CountSynDrop() { ++syn_drops_; }
 
+  // Registers this host's connection-resource probes under
+  // `<prefix>.ports|conns|backlog|syn_drops` (see docs/observability.md).
+  void PublishMetrics(obs::MetricsRegistry* registry,
+                      const std::string& prefix);
+
  private:
   Fabric* fabric_;
   int node_id_;
@@ -76,6 +91,10 @@ class TcpHost {
   std::int64_t connections_open_ = 0;
   std::int64_t backlog_depth_ = 0;
   std::int64_t syn_drops_ = 0;
+  // Every TIME_WAIT expiry uses the same fixed delay, so the expirations
+  // form a FIFO — one batch queue replaces one engine event per close
+  // (lazily created on the first TIME_WAIT close).
+  std::unique_ptr<sim::BatchTimerQueue> time_wait_timers_;
 };
 
 // Outcome of a connection attempt, including how long the client spent in

@@ -1,0 +1,97 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+namespace wimpy::obs {
+
+namespace {
+
+// Fixed-width-independent, locale-independent double rendering; the
+// byte-identical-across-threads guarantee rests on this being a pure
+// function of the value.
+std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+// Escapes the JSON string subset our static names can contain.
+std::string JsonEscape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out += '\\';
+    out += *s;
+  }
+  return out;
+}
+
+Status WriteString(const std::string& doc, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open for writing: " + path);
+  }
+  const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  if (written != doc.size()) {
+    return Status::Unavailable("short write to: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string RenderChromeTrace(const std::vector<TraceLog>& logs) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (std::size_t pid = 0; pid < logs.size(); ++pid) {
+    for (const TraceEvent& e : logs[pid].events) {
+      if (!first) out += ",\n";
+      first = false;
+      out += "{\"name\":\"" + JsonEscape(e.name) + "\",\"cat\":\"";
+      out += CategoryName(e.category);
+      out += "\",\"ph\":\"";
+      out += e.phase;
+      out += '"';
+      if (e.phase == 'i') out += ",\"s\":\"t\"";
+      out += ",\"ts\":" + Num(e.time * 1e6);
+      out += ",\"pid\":" + std::to_string(pid);
+      out += ",\"tid\":" + std::to_string(e.track);
+      out += ",\"args\":{\"seq\":" + std::to_string(e.seq);
+      out += ",\"arg\":" + std::to_string(e.arg) + "}}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const std::vector<TraceLog>& logs,
+                        const std::string& path) {
+  return WriteString(RenderChromeTrace(logs), path);
+}
+
+std::string RenderMetricsCsv(const std::vector<MetricsSeries>& series) {
+  std::string out = "series,time_s,metric,value\n";
+  for (std::size_t idx = 0; idx < series.size(); ++idx) {
+    const MetricsSeries& s = series[idx];
+    for (std::size_t row = 0; row < s.rows.size(); ++row) {
+      const std::string prefix =
+          std::to_string(idx) + "," + Num(s.times[row]) + ",";
+      for (std::size_t col = 0;
+           col < s.names.size() && col < s.rows[row].size(); ++col) {
+        out += prefix;
+        out += s.names[col];
+        out += ',';
+        out += Num(s.rows[row][col]);
+        out += '\n';
+      }
+    }
+  }
+  return out;
+}
+
+Status WriteMetricsCsv(const std::vector<MetricsSeries>& series,
+                       const std::string& path) {
+  return WriteString(RenderMetricsCsv(series), path);
+}
+
+}  // namespace wimpy::obs

@@ -1,0 +1,40 @@
+// Trace/metrics exporters (see docs/observability.md).
+//
+// Chrome trace-event JSON: the `{"traceEvents": [...]}` object format,
+// loadable by Perfetto (ui.perfetto.dev) and chrome://tracing. One event
+// object per line; `ts` is simulated microseconds; `pid` is the log's
+// index in the merge (config*replications + rep for sweep benches);
+// `tid` is the event's track.
+//
+// Metrics CSV: long format, one sampled value per row —
+// `series,time_s,metric,value` — so series with different column sets
+// (different node counts per sweep cell) merge into one file.
+//
+// Both renderers format floating-point fields with a fixed "%.9g", so
+// output is byte-identical for identical inputs: a sweep exported at
+// --threads=8 matches --threads=1 exactly (pinned by tests).
+#ifndef WIMPY_OBS_EXPORT_H_
+#define WIMPY_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace wimpy::obs {
+
+// Renders logs merged in index order (pid = index).
+std::string RenderChromeTrace(const std::vector<TraceLog>& logs);
+Status WriteChromeTrace(const std::vector<TraceLog>& logs,
+                        const std::string& path);
+
+// Renders series merged in index order (series column = index).
+std::string RenderMetricsCsv(const std::vector<MetricsSeries>& series);
+Status WriteMetricsCsv(const std::vector<MetricsSeries>& series,
+                       const std::string& path);
+
+}  // namespace wimpy::obs
+
+#endif  // WIMPY_OBS_EXPORT_H_

@@ -1,0 +1,67 @@
+#include "obs/metrics.h"
+
+#include <cassert>
+#include <utility>
+
+namespace wimpy::obs {
+
+MetricsRegistry::~MetricsRegistry() { Stop(); }
+
+void MetricsRegistry::Add(std::string name, std::function<double()> probe) {
+  assert(series_.times.empty() &&
+         "register all probes before the first sample");
+  probes_.push_back(Probe{std::move(name), std::move(probe)});
+  series_.names.push_back(probes_.back().name);
+}
+
+void MetricsRegistry::AddGauge(std::string name,
+                               std::function<double()> probe) {
+  Add(std::move(name), std::move(probe));
+}
+
+void MetricsRegistry::AddCounter(std::string name,
+                                 std::function<double()> probe) {
+  Add(std::move(name), std::move(probe));
+}
+
+void MetricsRegistry::Start(sim::Scheduler* sched, Duration period) {
+  Stop();
+  sched_ = sched;
+  period_ = period > 0 ? period : 1.0;
+  running_ = true;
+  Tick();
+}
+
+void MetricsRegistry::Stop() {
+  running_ = false;
+  if (pending_ != 0 && sched_ != nullptr) {
+    sched_->Cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+void MetricsRegistry::SampleNow() {
+  if (sched_ == nullptr) return;
+  series_.times.push_back(sched_->now());
+  auto& row = series_.rows.emplace_back();
+  row.reserve(probes_.size());
+  for (const Probe& probe : probes_) row.push_back(probe.fn());
+}
+
+void MetricsRegistry::Tick() {
+  if (!running_) return;
+  SampleNow();
+  pending_ = sched_->ScheduleAfter(period_, [this] {
+    pending_ = 0;
+    Tick();
+  });
+}
+
+MetricsSeries MetricsRegistry::TakeSeries() {
+  MetricsSeries out = std::move(series_);
+  series_ = MetricsSeries{};
+  series_.names = out.names;  // probes remain registered
+  return out;
+}
+
+}  // namespace wimpy::obs

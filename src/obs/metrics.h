@@ -1,0 +1,96 @@
+// Named time-series probes sampled on a simulated-time clock (see
+// docs/observability.md).
+//
+// A `MetricsRegistry` owns a set of named probes — closures reading live
+// simulation state (per-node utilisation, queue depths, per-component
+// power/energy) — and samples every probe at a fixed simulated period,
+// appending one row per tick. Components publish probes through their
+// `PublishMetrics(registry, prefix)` members (hw::ServerNode,
+// net::TcpHost/Fabric, mapreduce::Yarn/Hdfs, the web testbed).
+//
+// Lifetime contract: probes borrow the component they read. Register all
+// probes before Start(); never sample (Start/SampleNow) after any probed
+// component has been destroyed. The extracted `MetricsSeries` is plain
+// data and outlives everything.
+//
+// Determinism: rows are a pure function of the simulation — sampled at
+// deterministic instants, in registration order — so a sweep's merged
+// series are byte-identical at any worker-thread count when merged in
+// index order.
+#ifndef WIMPY_OBS_METRICS_H_
+#define WIMPY_OBS_METRICS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/scheduler.h"
+
+namespace wimpy::obs {
+
+// The extracted time series: what a replication returns from a sweep.
+// `rows[i]` aligns with `times[i]`; row width equals `names.size()`.
+struct MetricsSeries {
+  std::vector<std::string> names;
+  std::vector<SimTime> times;
+  std::vector<std::vector<double>> rows;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Registers a probe. Gauges are instantaneous levels (utilisation,
+  // queue depth, watts); counters are cumulative monotonic values
+  // (joules, drops) exported as-is so post-processing can difference
+  // them. Both are sampled identically — the split is documentation for
+  // consumers of the exported series. Must be called before the first
+  // sample is taken.
+  void AddGauge(std::string name, std::function<double()> probe);
+  void AddCounter(std::string name, std::function<double()> probe);
+
+  // Begins periodic sampling: one sample immediately, then every
+  // `period` of simulated time until Stop(). The pending tick is a
+  // cancellable scheduler event, so a stopped registry never prevents
+  // the event queue from draining.
+  void Start(sim::Scheduler* sched, Duration period);
+  void Stop();
+
+  // Takes one sample at the scheduler's current time, outside the
+  // periodic clock (e.g. a final sample after the run drains so
+  // cumulative counters capture the full simulation).
+  void SampleNow();
+
+  bool running() const { return running_; }
+  std::size_t probe_count() const { return probes_.size(); }
+  const MetricsSeries& series() const { return series_; }
+
+  // Moves the collected series out (e.g. into a sweep result); the
+  // registry keeps its probes and may keep sampling into a fresh series.
+  MetricsSeries TakeSeries();
+
+ private:
+  struct Probe {
+    std::string name;
+    std::function<double()> fn;
+  };
+
+  void Add(std::string name, std::function<double()> probe);
+  void Tick();
+
+  std::vector<Probe> probes_;
+  sim::Scheduler* sched_ = nullptr;
+  Duration period_ = 1.0;
+  bool running_ = false;
+  sim::EventId pending_ = 0;
+  MetricsSeries series_;
+};
+
+}  // namespace wimpy::obs
+
+#endif  // WIMPY_OBS_METRICS_H_

@@ -1,0 +1,62 @@
+#include "obs/tracer.h"
+
+namespace wimpy::obs {
+
+const char* CategoryName(Category category) {
+  switch (category) {
+    case Category::kEngine:
+      return "engine";
+    case Category::kRequest:
+      return "request";
+    case Category::kTask:
+      return "task";
+    case Category::kNet:
+      return "net";
+    case Category::kApp:
+      return "app";
+  }
+  return "app";
+}
+
+Tracer::~Tracer() { DetachEngineHook(); }
+
+void Tracer::AttachEngineHook(sim::Scheduler* sched) {
+  DetachEngineHook();
+  hooked_ = sched;
+  sched->SetExecuteHook(&Tracer::EngineTrampoline, this);
+}
+
+void Tracer::DetachEngineHook() {
+  if (hooked_ != nullptr) {
+    hooked_->SetExecuteHook(nullptr, nullptr);
+    hooked_ = nullptr;
+  }
+}
+
+void Tracer::EngineTrampoline(void* ctx, SimTime t, std::uint64_t seq) {
+  Tracer* self = static_cast<Tracer*>(ctx);
+  if (!self->enabled_) return;
+  self->events_.push_back(
+      TraceEvent{t, seq, "event", 0, 0, Category::kEngine, 'i'});
+}
+
+int Tracer::open_spans(std::int32_t track) const {
+  auto it = open_spans_.find(track);
+  return it == open_spans_.end() ? 0 : it->second;
+}
+
+void Tracer::Clear() {
+  events_.clear();
+  open_spans_.clear();
+  next_seq_ = 1;
+}
+
+TraceLog Tracer::TakeLog() {
+  TraceLog log;
+  log.events = std::move(events_);
+  events_.clear();
+  open_spans_.clear();
+  return log;
+}
+
+}  // namespace wimpy::obs

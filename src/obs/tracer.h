@@ -1,0 +1,169 @@
+// Deterministic event tracing for the simulation engine and the workload
+// layers (see docs/observability.md).
+//
+// A `Tracer` records a flat, execution-ordered stream of trace events:
+// engine-level per-event hooks (time, sequence number) wired into
+// `sim::Scheduler`, and explicit application-level instants and
+// begin/end spans emitted by instrumented components (web requests,
+// MapReduce tasks, network timeouts). The stream is a pure function of
+// the simulation — no wall-clock, no pointers, no thread identity — so a
+// trace taken at any `--threads` count is byte-identical for the same
+// seed once per-replication tracers are merged in index order (the same
+// contract as `sim::RunSweep` results).
+//
+// Overhead contract:
+//  * Call sites hold a `Tracer*` that is null by default; an
+//    uninstrumented run performs no calls at all.
+//  * A disabled tracer (`set_enabled(false)`) returns from every record
+//    call after a single predictable branch and never allocates.
+//  * The engine hook costs the scheduler one null-check per executed
+//    event when no tracer is attached; bench_engine_micro's
+//    BM_SchedulerEventThroughput pins this at <= 2% against the
+//    BENCH_engine.json baseline (tools/check_bench_regression.sh).
+#ifndef WIMPY_OBS_TRACER_H_
+#define WIMPY_OBS_TRACER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/scheduler.h"
+
+namespace wimpy::obs {
+
+// Coarse event taxonomy; exported as the Chrome trace `cat` field.
+enum class Category : std::uint8_t {
+  kEngine = 0,  // scheduler-executed events (engine hook)
+  kRequest,     // web connections/calls
+  kTask,        // MapReduce map/reduce tasks
+  kNet,         // TCP/fabric events (SYN drops, timeouts)
+  kApp,         // anything else (tests, experiments)
+};
+const char* CategoryName(Category category);
+
+// One trace record. `name` must point at a string with static lifetime
+// (call sites use literals); events are plain values so logs can be moved
+// across threads and merged.
+struct TraceEvent {
+  SimTime time = 0;
+  // Engine sequence number for kEngine hook events; a tracer-local
+  // monotonic counter otherwise. Strictly increasing within one tracer
+  // for a given source, which makes traces diffable.
+  std::uint64_t seq = 0;
+  const char* name = "";
+  std::int64_t arg = 0;
+  std::int32_t track = 0;  // Chrome trace `tid`: one logical timeline
+  Category category = Category::kApp;
+  char phase = 'i';  // 'i' instant, 'B' span begin, 'E' span end
+};
+
+// A detached, mergeable trace: what a replication returns from a sweep.
+struct TraceLog {
+  std::vector<TraceEvent> events;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(bool enabled = true) : enabled_(enabled) {}
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  // --- explicit-time records -------------------------------------------
+  // The *At forms take the timestamp explicitly so non-engine clocks
+  // (e.g. the reference scheduler in tests) can share one tracer.
+  void InstantAt(SimTime t, const char* name, Category category,
+                 std::int32_t track, std::int64_t arg = 0) {
+    if (!enabled_) return;
+    Record(t, name, category, track, arg, 'i');
+  }
+  void BeginSpanAt(SimTime t, const char* name, Category category,
+                   std::int32_t track, std::int64_t arg = 0) {
+    if (!enabled_) return;
+    ++open_spans_[track];
+    Record(t, name, category, track, arg, 'B');
+  }
+  void EndSpanAt(SimTime t, const char* name, Category category,
+                 std::int32_t track, std::int64_t arg = 0) {
+    if (!enabled_) return;
+    auto it = open_spans_.find(track);
+    if (it != open_spans_.end() && it->second > 0) --it->second;
+    Record(t, name, category, track, arg, 'E');
+  }
+
+  // --- engine hook ------------------------------------------------------
+  // Records every event the scheduler executes as a kEngine instant
+  // (time = execution time, seq = the engine's global sequence number,
+  // track 0). One tracer per scheduler; attaching replaces any previous
+  // hook, detaching (or destruction) restores the null hook.
+  void AttachEngineHook(sim::Scheduler* sched);
+  void DetachEngineHook();
+
+  // --- introspection ----------------------------------------------------
+  const std::vector<TraceEvent>& events() const { return events_; }
+  // Currently-open span depth on a track (0 when balanced). Tests use
+  // this to pin span nesting.
+  int open_spans(std::int32_t track) const;
+  std::size_t size() const { return events_.size(); }
+  void Clear();
+
+  // Moves the recorded stream out (e.g. into a sweep result), leaving the
+  // tracer empty but still attached/enabled.
+  TraceLog TakeLog();
+
+ private:
+  static void EngineTrampoline(void* ctx, SimTime t, std::uint64_t seq);
+
+  void Record(SimTime t, const char* name, Category category,
+              std::int32_t track, std::int64_t arg, char phase) {
+    events_.push_back(
+        TraceEvent{t, next_seq_++, name, arg, track, category, phase});
+  }
+
+  bool enabled_;
+  std::uint64_t next_seq_ = 1;
+  sim::Scheduler* hooked_ = nullptr;
+  std::vector<TraceEvent> events_;
+  std::map<std::int32_t, int> open_spans_;
+};
+
+// RAII span: begins on construction, ends (at the scheduler's then-current
+// time) on destruction — robust to early co_return in coroutine processes.
+// A default-constructed or null-tracer guard is a no-op.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(Tracer* tracer, sim::Scheduler* sched, const char* name,
+             Category category, std::int32_t track, std::int64_t arg = 0)
+      : tracer_(tracer), sched_(sched), name_(name), category_(category),
+        track_(track), arg_(arg) {
+    if (tracer_ != nullptr) {
+      tracer_->BeginSpanAt(sched_->now(), name_, category_, track_, arg_);
+    }
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->EndSpanAt(sched_->now(), name_, category_, track_, arg_);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;
+  sim::Scheduler* sched_ = nullptr;
+  const char* name_ = "";
+  Category category_ = Category::kApp;
+  std::int32_t track_ = 0;
+  std::int64_t arg_ = 0;
+};
+
+}  // namespace wimpy::obs
+
+#endif  // WIMPY_OBS_TRACER_H_

@@ -1,0 +1,61 @@
+#include "sim/batch_timer.h"
+
+#include <utility>
+
+namespace wimpy::sim {
+
+BatchTimerQueue::BatchTimerQueue(Scheduler* sched, Duration delay)
+    : sched_(sched), delay_(delay < 0 ? 0 : delay) {}
+
+BatchTimerQueue::~BatchTimerQueue() {
+  if (head_event_ != 0) sched_->Cancel(head_event_);
+}
+
+BatchTimerQueue::Token BatchTimerQueue::Arm(EventFn fn) {
+  // Time only moves forward and the delay is fixed, so due times are
+  // non-decreasing in arm order — the FIFO invariant.
+  fifo_.push_back(Entry{sched_->now() + delay_, std::move(fn)});
+  ++live_;
+  const Token token = next_token_++;
+  // Only the queue front needs an engine event; OnFire re-arms after the
+  // drain loop, so don't double-arm from inside it.
+  if (head_event_ == 0 && !in_fire_) ArmHead();
+  return token;
+}
+
+bool BatchTimerQueue::Cancel(Token token) {
+  if (token < first_token_ || token >= next_token_) return false;
+  Entry& entry = fifo_[static_cast<std::size_t>(token - first_token_)];
+  if (!entry.fn) return false;
+  entry.fn.Reset();
+  --live_;
+  // The head event (if this was the front) fires as a cheap no-op and
+  // re-arms for the next live entry — the same lazy-unhook scheme the
+  // scheduler uses for cancelled chain links.
+  return true;
+}
+
+void BatchTimerQueue::ArmHead() {
+  head_event_ = sched_->ScheduleAt(fifo_.front().due, [this] { OnFire(); });
+  ++engine_events_armed_;
+}
+
+void BatchTimerQueue::OnFire() {
+  head_event_ = 0;
+  in_fire_ = true;
+  // Run every entry that is due (equal-due entries batch into this one
+  // engine event, in arm order); skip cancelled ones for free.
+  while (!fifo_.empty() && fifo_.front().due <= sched_->now()) {
+    Entry entry = std::move(fifo_.front());
+    fifo_.pop_front();
+    ++first_token_;
+    if (entry.fn) {
+      --live_;
+      entry.fn();
+    }
+  }
+  in_fire_ = false;
+  if (!fifo_.empty()) ArmHead();
+}
+
+}  // namespace wimpy::sim

@@ -240,6 +240,7 @@ void Scheduler::ExecuteNext() {
   if (TakeRingNext()) {
     const RingEntry e = RingPop();
     ++executed_events_;
+    if (exec_hook_) exec_hook_(exec_hook_ctx_, now_, e.seq);
     e.handle.resume();
     return;
   }
@@ -265,6 +266,7 @@ void Scheduler::ExecuteNext() {
   assert(top.time >= now_);
   now_ = top.time;
   ++executed_events_;
+  if (exec_hook_) exec_hook_(exec_hook_ctx_, now_, top.key >> kSlotBits);
   fn();
 }
 

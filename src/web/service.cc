@@ -7,6 +7,8 @@
 #include "cluster/cluster.h"
 #include "cluster/metrics.h"
 #include "hw/profiles.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sim/process.h"
 
 namespace wimpy::web {
@@ -114,6 +116,93 @@ struct Testbed {
       client_hosts.push_back(
           std::make_unique<net::TcpHost>(&fabric, node->id(), client_tcp));
     }
+
+    tracer = config.tracer;
+    metrics = config.metrics;
+    trace_sample_every = std::max(1, config.trace_sample_every);
+    if (metrics != nullptr) PublishProbes();
+  }
+
+  // Probe registration order is fixed (web tier, cache tier, dbs, links,
+  // aggregates), so exported column order is deterministic.
+  void PublishProbes() {
+    for (std::size_t i = 0; i < webs.size(); ++i) {
+      const std::string prefix = "web" + std::to_string(i);
+      webs[i]->node().PublishMetrics(metrics, prefix);
+      webs[i]->tcp_host().PublishMetrics(metrics, prefix + ".tcp");
+    }
+    for (std::size_t i = 0; i < caches.size(); ++i) {
+      caches[i]->node().PublishMetrics(metrics,
+                                       "cache" + std::to_string(i));
+    }
+    for (std::size_t i = 0; i < dbs.size(); ++i) {
+      dbs[i]->node().PublishMetrics(metrics, "db" + std::to_string(i));
+    }
+    fabric.PublishMetrics(metrics, "net");
+    // Aggregate delay decomposition, merged across web servers exactly as
+    // CollectServerDelays merges the final report — the last exported row
+    // (sampled after the run drains) reproduces Table 7 from the CSV.
+    metrics->AddGauge("svc.db_delay_mean",
+                      [this] { return MergedDbDelay().mean(); });
+    metrics->AddCounter("svc.db_delay_count", [this] {
+      return static_cast<double>(MergedDbDelay().count());
+    });
+    metrics->AddGauge("svc.cache_delay_mean",
+                      [this] { return MergedCacheDelay().mean(); });
+    metrics->AddCounter("svc.cache_delay_count", [this] {
+      return static_cast<double>(MergedCacheDelay().count());
+    });
+    metrics->AddGauge("svc.total_delay_mean",
+                      [this] { return MergedTotalDelay().mean(); });
+    metrics->AddCounter("svc.total_delay_count", [this] {
+      return static_cast<double>(MergedTotalDelay().count());
+    });
+    metrics->AddCounter("svc.calls_ok", [this] {
+      std::int64_t n = 0;
+      for (auto& w : webs) n += w->calls_ok();
+      return static_cast<double>(n);
+    });
+    metrics->AddCounter("svc.errors_500", [this] {
+      std::int64_t n = 0;
+      for (auto& w : webs) n += w->errors_500();
+      return static_cast<double>(n);
+    });
+    metrics->AddGauge("svc.middle_watts", [this] {
+      return clstr.TotalWatts({"web-server", "cache-server"});
+    });
+    metrics->AddCounter("svc.middle_joules", [this] {
+      return clstr.CumulativeJoules({"web-server", "cache-server"});
+    });
+  }
+
+  OnlineStats MergedDbDelay() const {
+    OnlineStats s;
+    for (auto& w : webs) s.Merge(w->db_delay_stats());
+    return s;
+  }
+  OnlineStats MergedCacheDelay() const {
+    OnlineStats s;
+    for (auto& w : webs) s.Merge(w->cache_delay_stats());
+    return s;
+  }
+  OnlineStats MergedTotalDelay() const {
+    OnlineStats s;
+    for (auto& w : webs) s.Merge(w->total_delay_stats());
+    return s;
+  }
+
+  // 1-in-N connection trace sampling. Returns the tracer (and the
+  // connection's trace track via `track`) for sampled connections, null
+  // otherwise. The counter is part of the testbed, not the random
+  // streams, so tracing on/off never changes simulated behaviour.
+  obs::Tracer* TraceFor(std::int32_t* track) {
+    const std::uint64_t conn = conn_counter_++;
+    if (tracer == nullptr ||
+        conn % static_cast<std::uint64_t>(trace_sample_every) != 0) {
+      return nullptr;
+    }
+    *track = static_cast<std::int32_t>(conn & 0x7fffffff);
+    return tracer;
   }
 
   WebServer* NextWeb() {
@@ -140,6 +229,10 @@ struct Testbed {
   std::vector<std::unique_ptr<DatabaseServer>> dbs;
   std::vector<std::unique_ptr<WebServer>> webs;
   std::vector<std::unique_ptr<net::TcpHost>> client_hosts;
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  int trace_sample_every = 64;
+  std::uint64_t conn_counter_ = 0;
   std::size_t next_web_ = 0;
   std::size_t next_client_ = 0;
 };
@@ -184,9 +277,21 @@ sim::Process ClosedLoopConnection(Testbed& tb, Windows windows,
                                   Rng rng) {
   const SimTime end = WindowsEnd(windows);
   const SimTime conn_start = tb.sched.now();
+  std::int32_t track = 0;
+  obs::Tracer* tr = tb.TraceFor(&track);
+  obs::ScopedSpan conn_span(tr, &tb.sched, "conn", obs::Category::kRequest,
+                            track);
   net::TcpConnection conn(client, &web->tcp_host());
   const net::ConnectResult cres = co_await conn.Connect(/*hold_backlog=*/true);
+  if (tr != nullptr && cres.retries > 0) {
+    tr->InstantAt(tb.sched.now(), "syn_retry", obs::Category::kNet, track,
+                  cres.retries);
+  }
   if (!cres.status.ok()) {
+    if (tr != nullptr) {
+      tr->InstantAt(tb.sched.now(), "connect_error", obs::Category::kNet,
+                    track);
+    }
     if (RunWindow* w = FindWindow(windows, conn_start)) {
       ++w->attempts;
       ++w->errors;
@@ -208,6 +313,8 @@ sim::Process ClosedLoopConnection(Testbed& tb, Windows windows,
     const SimTime call_start = tb.sched.now();
     if (call_start >= end) break;
     const RequestSpec spec = mix.Sample(rng);
+    obs::ScopedSpan call_span(tr, &tb.sched, "call",
+                              obs::Category::kRequest, track, i);
     const CallResult result =
         co_await web->ServeCall(client->node_id(), spec);
     if (RunWindow* w = FindWindow(windows, call_start)) {
@@ -248,9 +355,21 @@ sim::Process OpenLoopRequest(Testbed& tb, RunWindow& window,
                              net::TcpHost* client,
                              LinearHistogram* histogram, Rng rng) {
   const SimTime start = tb.sched.now();
+  std::int32_t track = 0;
+  obs::Tracer* tr = tb.TraceFor(&track);
+  obs::ScopedSpan request_span(tr, &tb.sched, "request",
+                               obs::Category::kRequest, track);
   net::TcpConnection conn(client, &web->tcp_host());
   const net::ConnectResult cres = co_await conn.Connect(/*hold_backlog=*/true);
+  if (tr != nullptr && cres.retries > 0) {
+    tr->InstantAt(tb.sched.now(), "syn_retry", obs::Category::kNet, track,
+                  cres.retries);
+  }
   if (!cres.status.ok()) {
+    if (tr != nullptr) {
+      tr->InstantAt(tb.sched.now(), "connect_error", obs::Category::kNet,
+                    track);
+    }
     if (window.InWindow(start)) {
       ++window.attempts;
       ++window.errors;
@@ -333,12 +452,17 @@ LevelReport WebExperiment::MeasureClosedLoop(const WorkloadMix& mix,
         epoch_joules;
     web_sampler.Stop();
     cache_sampler.Stop();
+    if (tb.metrics != nullptr) tb.metrics->Stop();
   });
 
+  if (tb.metrics != nullptr) tb.metrics->Start(&tb.sched, Seconds(1));
   sim::Spawn(tb.sched,
              ClosedLoopArrivals(tb, {&window}, mix, concurrency,
                                 calls_per_connection, tb.rng.Fork()));
   tb.sched.Run();
+  // Final sample after the queue drains: cumulative counters and the
+  // merged delay stats now match the report exactly.
+  if (tb.metrics != nullptr) tb.metrics->SampleNow();
 
   LevelReport report;
   report.target_concurrency = concurrency;
@@ -389,11 +513,16 @@ WebExperiment::FailureReport WebExperiment::MeasureWithFailure(
   tb.sched.ScheduleAt(before.measure_end, [&tb, to_fail] {
     for (int i = 0; i < to_fail; ++i) tb.webs[i]->set_failed(true);
   });
+  tb.sched.ScheduleAt(after.measure_end, [&tb] {
+    if (tb.metrics != nullptr) tb.metrics->Stop();
+  });
 
+  if (tb.metrics != nullptr) tb.metrics->Start(&tb.sched, Seconds(1));
   sim::Spawn(tb.sched,
              ClosedLoopArrivals(tb, {&before, &after}, mix, concurrency,
                                 calls_per_connection, tb.rng.Fork()));
   tb.sched.Run();
+  if (tb.metrics != nullptr) tb.metrics->SampleNow();
 
   auto fill = [&](const RunWindow& window) {
     LevelReport report;
@@ -441,11 +570,16 @@ OpenLoopReport WebExperiment::MeasureOpenLoop(const WorkloadMix& mix,
   tb.sched.ScheduleAt(window.warmup_end, [&] {
     for (auto& web : tb.webs) web->ResetStats();
   });
+  tb.sched.ScheduleAt(window.measure_end, [&tb] {
+    if (tb.metrics != nullptr) tb.metrics->Stop();
+  });
 
+  if (tb.metrics != nullptr) tb.metrics->Start(&tb.sched, Seconds(1));
   sim::Spawn(tb.sched,
              OpenLoopArrivals(tb, window, mix, target_rps,
                               &report.delay_histogram, tb.rng.Fork()));
   tb.sched.Run();
+  if (tb.metrics != nullptr) tb.metrics->SampleNow();
 
   report.achieved_rps = static_cast<double>(window.ok) / measure;
   report.error_rate =

@@ -27,6 +27,11 @@
 #include "web/web_server.h"
 #include "web/workload.h"
 
+namespace wimpy::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace wimpy::obs
+
 namespace wimpy::web {
 
 struct WebTestbedConfig {
@@ -38,6 +43,16 @@ struct WebTestbedConfig {
   BackendCosts backend_costs;
   int client_machines = 8;
   std::uint64_t seed = 20160901;
+  // Optional observability sinks (docs/observability.md); borrowed, may
+  // be null. When `tracer` is set, one connection in `trace_sample_every`
+  // emits request spans (deterministic round-robin counter, so sampling
+  // never perturbs the simulation's random streams). When `metrics` is
+  // set, the testbed publishes per-node utilisation/power, per-host TCP,
+  // link, and aggregate delay-decomposition probes and samples them at
+  // 1 s of simulated time during the measurement run.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  int trace_sample_every = 64;
 };
 
 // Calibrated per-platform web-server configs (see web_server.h for the

@@ -1,0 +1,152 @@
+// sim::BatchTimerQueue tests: FIFO firing of identical-delay timers, O(1)
+// cancel semantics, and the batching win — many arms share few engine
+// events (the TIME_WAIT optimisation; net/tcp.cc is the production
+// client, covered end to end by net_edge_test's TIME_WAIT cases).
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "sim/batch_timer.h"
+#include "sim/scheduler.h"
+
+namespace wimpy::sim {
+namespace {
+
+TEST(BatchTimerTest, FiresInArmOrderAfterTheFixedDelay) {
+  Scheduler sched;
+  BatchTimerQueue timers(&sched, 5.0);
+  std::vector<std::pair<int, SimTime>> fired;
+
+  timers.Arm([&] { fired.emplace_back(1, sched.now()); });
+  sched.Run(2.0);  // advance the clock between arms
+  timers.Arm([&] { fired.emplace_back(2, sched.now()); });
+  EXPECT_EQ(timers.pending(), 2u);
+  sched.Run();
+
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], std::make_pair(1, 5.0));
+  EXPECT_EQ(fired[1], std::make_pair(2, 7.0));
+  EXPECT_EQ(timers.pending(), 0u);
+  EXPECT_EQ(timers.delay(), 5.0);
+}
+
+TEST(BatchTimerTest, EqualDueTimersBatchIntoOneEngineEvent) {
+  Scheduler sched;
+  BatchTimerQueue timers(&sched, 5.0);
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    timers.Arm([&order, i] { order.push_back(i); });
+  }
+  // 50 timers due at the same instant cost a single engine event.
+  EXPECT_EQ(timers.engine_events_armed(), 1u);
+  sched.Run();
+
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_EQ(sched.now(), 5.0);
+}
+
+TEST(BatchTimerTest, ArmWhilePendingReusesTheEngineEvent) {
+  Scheduler sched;
+  BatchTimerQueue timers(&sched, 5.0);
+  int fired = 0;
+  timers.Arm([&fired] { ++fired; });
+  sched.Run(2.0);
+  timers.Arm([&fired] { ++fired; });  // head event already armed
+  EXPECT_EQ(timers.engine_events_armed(), 1u);
+  sched.Run();
+  EXPECT_EQ(fired, 2);
+  // The second timer (due 7.0) needed one re-arm after the first fired.
+  EXPECT_EQ(timers.engine_events_armed(), 2u);
+}
+
+TEST(BatchTimerTest, CancelIsIdempotentAndSkipsTheDeadEntry) {
+  Scheduler sched;
+  BatchTimerQueue timers(&sched, 3.0);
+  std::vector<int> order;
+  const auto a = timers.Arm([&order] { order.push_back(1); });
+  const auto b = timers.Arm([&order] { order.push_back(2); });
+  const auto c = timers.Arm([&order] { order.push_back(3); });
+
+  EXPECT_TRUE(timers.Cancel(b));
+  EXPECT_FALSE(timers.Cancel(b));  // double cancel
+  EXPECT_FALSE(timers.Cancel(0));  // never a valid token
+  EXPECT_EQ(timers.pending(), 2u);
+
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_FALSE(timers.Cancel(a));  // already fired
+  EXPECT_FALSE(timers.Cancel(c));
+  EXPECT_EQ(timers.pending(), 0u);
+}
+
+TEST(BatchTimerTest, CancellingTheHeadStillFiresLaterTimers) {
+  Scheduler sched;
+  BatchTimerQueue timers(&sched, 4.0);
+  std::vector<std::pair<int, SimTime>> fired;
+  const auto head = timers.Arm([&] { fired.emplace_back(1, sched.now()); });
+  sched.Run(1.0);
+  timers.Arm([&] { fired.emplace_back(2, sched.now()); });
+  EXPECT_TRUE(timers.Cancel(head));
+  sched.Run();
+
+  // The dead head is skipped for free when the queue drains; the second
+  // timer still fires at its own due time.
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], std::make_pair(2, 5.0));
+}
+
+TEST(BatchTimerTest, ArmingFromInsideAFiringTimerWorks) {
+  Scheduler sched;
+  BatchTimerQueue timers(&sched, 5.0);
+  std::vector<SimTime> fired;
+  timers.Arm([&] {
+    fired.push_back(sched.now());
+    timers.Arm([&] { fired.push_back(sched.now()); });
+  });
+  sched.Run();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], 5.0);
+  EXPECT_EQ(fired[1], 10.0);
+}
+
+TEST(BatchTimerTest, NegativeDelayFiresAtTheCurrentTime) {
+  Scheduler sched;
+  BatchTimerQueue timers(&sched, -1.0);
+  SimTime fired_at = -1;
+  sched.ScheduleAt(2.0, [&] {
+    timers.Arm([&] { fired_at = sched.now(); });
+  });
+  sched.Run();
+  EXPECT_EQ(fired_at, 2.0);
+}
+
+TEST(BatchTimerTest, ManyArmCancelRoundsStayCheap) {
+  // The TIME_WAIT usage pattern: waves of closes arm timers, some slots
+  // get reused (cancelled) before expiry. Engine events stay bounded by
+  // the number of distinct drain points, not the number of timers.
+  Scheduler sched;
+  BatchTimerQueue timers(&sched, 10.0);
+  int fired = 0;
+  int cancelled = 0;
+  for (int wave = 0; wave < 8; ++wave) {
+    std::vector<BatchTimerQueue::Token> tokens;
+    for (int i = 0; i < 100; ++i) {
+      tokens.push_back(timers.Arm([&fired] { ++fired; }));
+    }
+    for (int i = 0; i < 100; i += 2) {
+      if (timers.Cancel(tokens[i])) ++cancelled;
+    }
+    sched.Run(sched.now() + 1.0);
+  }
+  sched.Run();
+  EXPECT_EQ(fired, 8 * 50);
+  EXPECT_EQ(cancelled, 8 * 50);
+  // 800 arms collapsed to (at most) one engine event per wave boundary
+  // crossed; far fewer than one per timer.
+  EXPECT_LE(timers.engine_events_armed(), 16u);
+}
+
+}  // namespace
+}  // namespace wimpy::sim

@@ -1,4 +1,5 @@
-// Golden event-trace tests for the discrete-event engine.
+// Golden event-trace tests for the discrete-event engine, recorded
+// through the obs::Tracer observability subsystem (docs/observability.md).
 //
 // The engine guarantees deterministic execution: events run in (time,
 // sequence) order, FIFO at equal timestamps, with one sequence number
@@ -10,13 +11,17 @@
 //     implementation this engine replaced) through an identical
 //     deterministic op mix — schedules, nested schedules, coroutine
 //     wake-ups, and cancels (including cancel of the earliest pending
-//     event and double-cancel) — and requires bit-identical traces.
+//     event and double-cancel) — and requires bit-identical traces. The
+//     tracer's explicit-time InstantAt form lets the reference engine's
+//     clock feed the same record path the real engine uses.
 //
 //  2. A golden full-stack workload (web-style fair-share + semaphore
 //     request flow, MapReduce-style wait-queue workers, and a cancel/re-arm
 //     churn loop) whose complete (time, label) trace hash was captured from
 //     the seed engine. Any reordering, dropped event, or clock drift in a
-//     future engine change breaks the hash.
+//     future engine change breaks the hash. A second tracer rides the
+//     scheduler's engine hook and must see exactly one kEngine record per
+//     executed event.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -29,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/tracer.h"
 #include "sim/fair_share.h"
 #include "sim/process.h"
 #include "sim/scheduler.h"
@@ -38,29 +44,32 @@
 namespace wimpy::sim {
 namespace {
 
-struct Trace {
-  std::vector<std::pair<SimTime, std::int64_t>> entries;
+using obs::Category;
+using obs::TraceEvent;
+using obs::Tracer;
 
-  void Log(SimTime t, std::int64_t label) { entries.emplace_back(t, label); }
+void Log(Tracer& trace, SimTime t, std::int64_t label) {
+  trace.InstantAt(t, "evt", Category::kApp, 0, label);
+}
 
-  // FNV-1a over the raw (time, label) stream.
-  std::uint64_t Hash() const {
-    std::uint64_t h = 1469598103934665603ull;
-    auto mix = [&h](std::uint64_t v) {
-      for (int i = 0; i < 8; ++i) {
-        h ^= (v >> (8 * i)) & 0xff;
-        h *= 1099511628211ull;
-      }
-    };
-    for (const auto& [t, label] : entries) {
-      std::uint64_t bits;
-      std::memcpy(&bits, &t, sizeof(bits));
-      mix(bits);
-      mix(static_cast<std::uint64_t>(label));
+// FNV-1a over the raw (time, label) stream — the same digest the seed
+// test computed over its local trace struct, now over tracer events.
+std::uint64_t TraceHash(const Tracer& trace) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
     }
-    return h;
+  };
+  for (const TraceEvent& e : trace.events()) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &e.time, sizeof(bits));
+    mix(bits);
+    mix(static_cast<std::uint64_t>(e.arg));
   }
-};
+  return h;
+}
 
 // Reference engine: the seed implementation (binary heap of (time, id)
 // ordered std::function events, cancellation via a tombstone set), with
@@ -155,8 +164,8 @@ struct FireOnce {
   std::coroutine_handle<promise_type> handle;
 };
 
-FireOnce LogOnResume(Trace& trace, Scheduler& sched, std::int64_t label) {
-  trace.Log(sched.now(), label);
+FireOnce LogOnResume(Tracer& trace, Scheduler& sched, std::int64_t label) {
+  Log(trace, sched.now(), label);
   co_return;
 }
 
@@ -165,12 +174,12 @@ FireOnce LogOnResume(Trace& trace, Scheduler& sched, std::int64_t label) {
 // same-time callback on the reference.
 struct RealEngine {
   Scheduler sched;
-  Trace trace;
+  Tracer trace;
 
   std::uint64_t Schedule(SimTime t, std::int64_t label,
                          std::function<void()> body) {
     return sched.ScheduleAt(t, [this, label, body = std::move(body)] {
-      trace.Log(sched.now(), label);
+      Log(trace, sched.now(), label);
       if (body) body();
     });
   }
@@ -185,19 +194,19 @@ struct RealEngine {
 
 struct RefEngine {
   ReferenceScheduler sched;
-  Trace trace;
+  Tracer trace;
 
   std::uint64_t Schedule(SimTime t, std::int64_t label,
                          std::function<void()> body) {
     return sched.ScheduleAt(t, [this, label, body = std::move(body)] {
-      trace.Log(sched.now(), label);
+      Log(trace, sched.now(), label);
       if (body) body();
     });
   }
   bool Cancel(std::uint64_t id) { return sched.Cancel(id); }
   void Resume(std::int64_t label) {
     sched.ResumeLater(
-        [this, label] { trace.Log(sched.now(), label); });
+        [this, label] { Log(trace, sched.now(), label); });
   }
   SimTime Now() const { return sched.now(); }
   void Run(SimTime until) { sched.Run(until); }
@@ -294,11 +303,14 @@ TEST(EventTraceTest, MatchesReferenceEngineOnMixedOps) {
   RunOpMix(ref, ref_cancels);
 
   EXPECT_EQ(real_cancels, ref_cancels);
-  ASSERT_EQ(real.trace.entries.size(), ref.trace.entries.size());
-  for (std::size_t i = 0; i < real.trace.entries.size(); ++i) {
-    EXPECT_EQ(real.trace.entries[i], ref.trace.entries[i]) << "entry " << i;
+  ASSERT_EQ(real.trace.size(), ref.trace.size());
+  for (std::size_t i = 0; i < real.trace.size(); ++i) {
+    const TraceEvent& a = real.trace.events()[i];
+    const TraceEvent& b = ref.trace.events()[i];
+    EXPECT_EQ(a.time, b.time) << "entry " << i;
+    EXPECT_EQ(a.arg, b.arg) << "entry " << i;
   }
-  EXPECT_EQ(real.trace.Hash(), ref.trace.Hash());
+  EXPECT_EQ(TraceHash(real.trace), TraceHash(ref.trace));
   EXPECT_EQ(real.sched.executed_events(), ref.sched.executed_events());
   EXPECT_EQ(real.sched.pending_events(), 0u);
   EXPECT_EQ(ref.sched.pending_events(), 0u);
@@ -309,7 +321,7 @@ TEST(EventTraceTest, MatchesReferenceEngineOnMixedOps) {
 // Golden full-stack workload: web + MapReduce + cancel churn.
 
 Process WebClient(Scheduler& sched, FairShareServer& cpu,
-                  FairShareServer& nic, Semaphore& threads, Trace& trace,
+                  FairShareServer& nic, Semaphore& threads, Tracer& trace,
                   int id) {
   for (int r = 0; r < 15; ++r) {
     co_await Delay(sched, 0.013 * ((id * 7 + r * 3) % 11));
@@ -318,22 +330,22 @@ Process WebClient(Scheduler& sched, FairShareServer& cpu,
     co_await cpu.Serve(1.0 + (id + r) % 5);
     co_await nic.Serve(0.5 + (r % 3));
     guard.Release();
-    trace.Log(sched.now(), 100000 + id * 100 + r);
+    Log(trace, sched.now(), 100000 + id * 100 + r);
   }
 }
 
 Process MrWorker(Scheduler& sched, WaitQueue<int>& tasks,
-                 FairShareServer& cpu, FairShareServer& disk, Trace& trace,
+                 FairShareServer& cpu, FairShareServer& disk, Tracer& trace,
                  int id) {
   for (;;) {
     const int task = co_await tasks.Get();
     if (task < 0) {
-      trace.Log(sched.now(), 300000 + id);
+      Log(trace, sched.now(), 300000 + id);
       co_return;
     }
     co_await cpu.Serve(2.0 + task % 7);
     co_await disk.Serve(1.0 + task % 4);
-    trace.Log(sched.now(), 200000 + task);
+    Log(trace, sched.now(), 200000 + task);
   }
 }
 
@@ -351,7 +363,7 @@ Process MrDriver(Scheduler& sched, WaitQueue<int>& tasks, int n_tasks,
 // next tick is delayed past the timeout so it actually fires.
 struct CancelChurn {
   Scheduler* sched;
-  Trace* trace;
+  Tracer* trace;
   int remaining;
   int i = 0;
   EventId armed = 0;
@@ -359,13 +371,13 @@ struct CancelChurn {
   void Tick() {
     if (armed != 0) {
       const bool ok = sched->Cancel(armed);
-      trace->Log(sched->now(), 400000 + (ok ? 1 : 0));
+      Log(*trace, sched->now(), 400000 + (ok ? 1 : 0));
       armed = 0;
     }
     if (remaining-- <= 0) return;
     const int round = i++;
     armed = sched->ScheduleAt(sched->now() + 1.7, [this, round] {
-      trace->Log(sched->now(), 450000 + round);
+      Log(*trace, sched->now(), 450000 + round);
       armed = 0;
     });
     const Duration gap = (round % 5 == 4) ? 2.0 : 0.3;
@@ -375,7 +387,11 @@ struct CancelChurn {
 
 TEST(EventTraceTest, GoldenMixedWorkloadTrace) {
   Scheduler sched;
-  Trace trace;
+  Tracer trace;
+  // A second tracer rides the engine hook: one kEngine instant per
+  // executed event, without disturbing the app-level golden stream.
+  Tracer engine_trace;
+  engine_trace.AttachEngineHook(&sched);
   FairShareServer cpu(&sched, 12.0, 4.0, "cpu");
   FairShareServer nic(&sched, 8.0, 8.0, "nic");
   FairShareServer disk(&sched, 6.0, 6.0, "disk");
@@ -404,10 +420,19 @@ TEST(EventTraceTest, GoldenMixedWorkloadTrace) {
   // Golden values captured from the seed engine (priority_queue +
   // tombstone set). The optimized engine must reproduce the identical
   // (time, sequence) execution order.
-  EXPECT_EQ(trace.entries.size(), 153u);
-  EXPECT_EQ(trace.Hash(), 7137018536558014104ull) << "trace hash";
+  EXPECT_EQ(trace.size(), 153u);
+  EXPECT_EQ(TraceHash(trace), 7137018536558014104ull) << "trace hash";
   EXPECT_EQ(sched.executed_events(), 770u) << "executed";
   EXPECT_EQ(sched.now(), 0x1.408dc4a20e82ep+5) << "final time";
+
+  // The engine hook saw every executed event, in execution order.
+  ASSERT_EQ(engine_trace.size(), sched.executed_events());
+  SimTime prev_time = 0;
+  for (const TraceEvent& e : engine_trace.events()) {
+    EXPECT_EQ(e.category, Category::kEngine);
+    EXPECT_GE(e.time, prev_time);
+    prev_time = e.time;
+  }
 }
 
 }  // namespace

@@ -8,15 +8,36 @@
 # Usage:
 #   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
 #   tools/check_bench_regression.sh
-#   BUILD_DIR=out THRESHOLD_PCT=10 REPS=9 tools/check_bench_regression.sh
+#   BUILD_DIR=out THRESHOLD_PCT=10 REPS=9 RUNS=3 tools/check_bench_regression.sh
+#   OBS_THRESHOLD_PCT=5 SKIP_OBS_RUN=1 tools/check_bench_regression.sh
 #
 # Benchmarks present in only one of the two runs (e.g. newly added ones
 # with no baseline yet) are reported but never fail the check.
 #
-# The comparison uses the median over REPS repetitions, but on shared or
-# virtualized hosts (CPU steal, frequency scaling) run-to-run medians can
-# still swing past 20%; raise REPS and/or THRESHOLD_PCT there, and treat
-# a failure as "re-run before believing", not proof of a regression.
+# Observability contract (docs/observability.md): the hooks-disabled
+# scheduler path (BM_SchedulerEventThroughput/100000) gets a stricter
+# OBS_THRESHOLD_PCT check (default 2%) — an attached-but-absent tracer
+# must stay in the noise — and the hooks-enabled variant's delta is
+# reported alongside. Unless SKIP_OBS_RUN=1, an obs-enabled export run
+# (tools/check_trace.sh) then validates --trace/--metrics end to end.
+#
+# Defenses against shared-host noise (CPU steal, frequency scaling),
+# which on some hosts swings results ±30% between invocations:
+#   1. The comparison statistic is the best (max) repetition —
+#      interference is one-sided, it only ever slows a repetition down,
+#      so the max is the most stable estimate of code speed.
+#   2. The suite runs RUNS times (default 2) in separate invocations and
+#      the per-benchmark best across all of them is used, because
+#      interference bursts can outlast a single invocation.
+#   3. The gate uses host-normalized deltas: each benchmark is measured
+#      against the median delta across the whole suite, so a uniform
+#      machine-speed swing between the baseline capture and this run
+#      cancels out. Raw deltas are printed alongside.
+#   4. On failure, the failing benchmarks are re-run in up to RETRIES
+#      (default 2) additional targeted invocations and the results
+#      merged — the automated version of "re-run before believing",
+#      sound because the baseline numbers were demonstrably achieved on
+#      this machine, so a healthy benchmark can reach them again.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,49 +45,82 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 BASELINE="${BASELINE:-BENCH_engine.json}"
 THRESHOLD_PCT="${THRESHOLD_PCT:-20}"
+OBS_THRESHOLD_PCT="${OBS_THRESHOLD_PCT:-2}"
 REPS="${REPS:-5}"
+RUNS="${RUNS:-2}"
+RETRIES="${RETRIES:-2}"
 
 if [[ ! -f "${BASELINE}" ]]; then
   echo "error: baseline ${BASELINE} not found" >&2
   exit 1
 fi
 
-CURRENT="$(mktemp /tmp/bench_engine.XXXXXX.json)"
-trap 'rm -f "${CURRENT}"' EXIT
+CURRENT_FILES=()
+RETRY_FILTER="$(mktemp /tmp/bench_retry.XXXXXX)"
+trap 'rm -f "${CURRENT_FILES[@]}" "${RETRY_FILTER}"' EXIT
+for run in $(seq "${RUNS}"); do
+  echo "== suite invocation ${run}/${RUNS} =="
+  f="$(mktemp /tmp/bench_engine.XXXXXX.json)"
+  CURRENT_FILES+=("${f}")
+  BUILD_DIR="${BUILD_DIR}" OUT="${f}" REPS="${REPS}" \
+    tools/run_engine_bench.sh
+done
 
-BUILD_DIR="${BUILD_DIR}" OUT="${CURRENT}" REPS="${REPS}" \
-  tools/run_engine_bench.sh
-
-python3 - "${BASELINE}" "${CURRENT}" "${THRESHOLD_PCT}" <<'EOF'
+compare() {
+  python3 - "${THRESHOLD_PCT}" "${OBS_THRESHOLD_PCT}" "${RETRY_FILTER}" \
+    "${BASELINE}" "${CURRENT_FILES[@]}" <<'EOF'
 import json
 import sys
 
-baseline_path, current_path, threshold_pct = sys.argv[1], sys.argv[2], float(sys.argv[3])
+threshold_pct = float(sys.argv[1])
+obs_threshold_pct = float(sys.argv[2])
+retry_filter_path = sys.argv[3]
+baseline_path = sys.argv[4]
+current_paths = sys.argv[5:]
 
-def items_per_second(path):
-    """run_name -> items/sec. Prefers the median aggregate (robust to the
-    outlier repetitions shared/virtualized hosts produce), falls back to
-    mean, then to raw iteration entries (REPS=1)."""
-    with open(path) as f:
-        data = json.load(f)
-    by_rank = {}
-    for b in data.get("benchmarks", []):
-        ips = b.get("items_per_second")
-        if ips is None:
-            continue
-        if b.get("run_type") == "aggregate":
-            rank = {"median": 0, "mean": 1}.get(b.get("aggregate_name"))
-            if rank is not None:
-                by_rank.setdefault(b["run_name"], {})[rank] = ips
-        else:
-            by_rank.setdefault(b["name"], {}).setdefault(2, ips)
-    return {name: ranks[min(ranks)] for name, ranks in by_rank.items()}
+def items_per_second(paths):
+    """run_name -> items/sec. Prefers the best (max) raw repetition
+    across every file — interference on a shared host only ever slows a
+    repetition down, so the per-benchmark max is the most stable
+    estimate of code speed — and falls back to the median then mean
+    aggregate for older baseline files that recorded aggregates only."""
+    raw, agg = {}, {}
+    for path in paths:
+        with open(path) as f:
+            data = json.load(f)
+        for b in data.get("benchmarks", []):
+            ips = b.get("items_per_second")
+            if ips is None:
+                continue
+            if b.get("run_type") == "aggregate":
+                rank = {"median": 0, "mean": 1}.get(b.get("aggregate_name"))
+                if rank is not None:
+                    slot = agg.setdefault(b["run_name"], {})
+                    slot[rank] = max(slot.get(rank, 0.0), ips)
+            else:
+                name = b.get("run_name", b["name"])
+                raw[name] = max(raw.get(name, 0.0), ips)
+    out = {name: ranks[min(ranks)] for name, ranks in agg.items()}
+    out.update(raw)
+    return out
 
-base = items_per_second(baseline_path)
-curr = items_per_second(current_path)
+base = items_per_second([baseline_path])
+curr = items_per_second(current_paths)
+
+# Host-speed normalization: shared/virtualized hosts swing the entire
+# suite up or down together between invocations. The median ratio across
+# all common benchmarks estimates that swing; each benchmark is then
+# gated on its delta relative to the suite median, which cancels uniform
+# host noise while preserving anything benchmark-specific.
+common = sorted(set(base) & set(curr))
+ratios = sorted(curr[n] / base[n] for n in common)
+host = ratios[len(ratios) // 2] if ratios else 1.0
+host_pct = 100.0 * (host - 1.0)
 
 failures = []
-print(f"\n{'benchmark':44s} {'baseline':>12s} {'current':>12s} {'delta':>8s}")
+print(f"\nhost-speed factor (suite median delta): {host_pct:+.1f}%")
+print(f"{'benchmark':44s} {'baseline':>12s} {'current':>12s} "
+      f"{'raw':>8s} {'norm':>8s}")
 for name in sorted(set(base) | set(curr)):
     if name not in base:
         print(f"{name:44s} {'(none)':>12s} {curr[name]:12.3e}    new")
@@ -75,18 +129,73 @@ for name in sorted(set(base) | set(curr)):
         print(f"{name:44s} {base[name]:12.3e} {'(none)':>12s}    gone")
         continue
     delta_pct = 100.0 * (curr[name] - base[name]) / base[name]
+    norm_pct = 100.0 * (curr[name] / (base[name] * host) - 1.0)
     verdict = "ok"
-    if delta_pct < -threshold_pct:
+    if norm_pct < -threshold_pct:
         verdict = "REGRESSED"
-        failures.append((name, delta_pct))
-    print(f"{name:44s} {base[name]:12.3e} {curr[name]:12.3e} {delta_pct:+7.1f}% {verdict}")
+        failures.append((name, norm_pct))
+    print(f"{name:44s} {base[name]:12.3e} {curr[name]:12.3e} "
+          f"{delta_pct:+7.1f}% {norm_pct:+7.1f}% {verdict}")
+
+# Observability overhead contract: the disabled path must stay within
+# the (stricter) obs threshold of the baseline after removing the host
+# swing; on shared hosts this is the number to re-run before believing.
+disabled = "BM_SchedulerEventThroughput/100000"
+traced = "BM_SchedulerEventThroughputTraced/100000"
+if disabled in base and disabled in curr:
+    norm_pct = 100.0 * (curr[disabled] / (base[disabled] * host) - 1.0)
+    verdict = "ok" if norm_pct >= -obs_threshold_pct else "REGRESSED"
+    print(f"\nobs disabled-path overhead ({disabled}): {norm_pct:+.1f}% "
+          f"host-normalized (threshold -{obs_threshold_pct:.0f}%) {verdict}")
+    if verdict == "REGRESSED":
+        failures.append((f"{disabled} [obs disabled-path]", norm_pct))
+if disabled in curr and traced in curr:
+    enabled_pct = 100.0 * (curr[traced] - curr[disabled]) / curr[disabled]
+    print(f"obs enabled-vs-disabled delta ({traced}): {enabled_pct:+.1f}% "
+          f"(informational: full per-event recording cost)")
 
 if failures:
-    print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
-          f"{threshold_pct:.0f}% vs {baseline_path}:")
+    print(f"\n{len(failures)} benchmark(s) regressed (host-normalized):")
     for name, delta in failures:
         print(f"  {name}: {delta:+.1f}%")
+    # Emit a --benchmark_filter regex for a targeted re-run of just the
+    # failing benchmarks. Statistic suffixes (/real_time etc.) are part
+    # of the reported name but not of what the filter matches first, so
+    # match the name with or without a trailing /component.
+    suffixes = ("/real_time", "/manual_time", "/process_time")
+    parts = []
+    for name, _ in failures:
+        if name.endswith("]"):  # synthetic entries like "[obs disabled-path]"
+            name = name.split(" [")[0]
+        for s in suffixes:
+            if name.endswith(s):
+                name = name[: -len(s)]
+        parts.append(name + "(/|$)")
+    with open(retry_filter_path, "w") as f:
+        f.write("|".join(sorted(set(parts))))
     sys.exit(1)
 print(f"\nOK: no benchmark regressed more than {threshold_pct:.0f}% "
-      f"vs {baseline_path}.")
+      f"host-normalized vs {baseline_path}.")
 EOF
+}
+
+attempt=0
+until compare; do
+  if (( attempt >= RETRIES )); then
+    echo "FAIL: regressions persisted after ${RETRIES} targeted re-run(s)."
+    exit 1
+  fi
+  attempt=$((attempt + 1))
+  echo
+  echo "== targeted re-run ${attempt}/${RETRIES}: $(cat "${RETRY_FILTER}") =="
+  f="$(mktemp /tmp/bench_engine.XXXXXX.json)"
+  CURRENT_FILES+=("${f}")
+  BUILD_DIR="${BUILD_DIR}" OUT="${f}" REPS="${REPS}" \
+    FILTER="$(cat "${RETRY_FILTER}")" tools/run_engine_bench.sh
+done
+
+if [[ "${SKIP_OBS_RUN:-0}" == "0" ]]; then
+  echo
+  echo "== obs-enabled export run (SKIP_OBS_RUN=1 to skip) =="
+  BUILD_DIR="${BUILD_DIR}" tools/check_trace.sh
+fi

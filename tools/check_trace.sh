@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Exports a Chrome trace + metrics CSV from bench_fig4_7_web_light and
+# validates them: the trace must be parseable JSON in trace-event format
+# (every event carries ph/ts/name/pid/tid/cat, instants carry the scope
+# key, ts is monotonic per (pid, tid) track, span begins/ends balance) and
+# the CSV must be well-formed long format (docs/observability.md).
+#
+# Usage:
+#   cmake -B build -S . && cmake --build build -j
+#   tools/check_trace.sh
+#   BUILD_DIR=out tools/check_trace.sh
+#   CHECK_DETERMINISM=1 tools/check_trace.sh   # also run --threads=1 vs 4
+#
+# CHECK_DETERMINISM re-runs the bench at two worker-thread counts with the
+# same seed and requires byte-identical exports (the contract obs tests
+# pin at unit level; this checks it end to end, ~3x the runtime).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+BIN="${BUILD_DIR}/bench/bench_fig4_7_web_light"
+if [[ ! -x "${BIN}" ]]; then
+  echo "error: ${BIN} not found; build it first:" >&2
+  echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d /tmp/wimpy_trace.XXXXXX)"
+trap 'rm -rf "${WORK}"' EXIT
+
+TRACE="${WORK}/trace.json"
+METRICS="${WORK}/metrics.csv"
+echo "running ${BIN} with --trace/--metrics export..."
+"${BIN}" --replications=1 --trace="${TRACE}" --metrics="${METRICS}" \
+  > "${WORK}/stdout.txt"
+
+python3 - "${TRACE}" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+events = doc["traceEvents"]
+assert events, "traceEvents is empty"
+last_ts = {}
+phases = set()
+categories = set()
+for e in events:
+    for key in ("ph", "ts", "name", "pid", "tid", "cat"):
+        assert key in e, f"event missing {key!r}: {e}"
+    phases.add(e["ph"])
+    categories.add(e["cat"])
+    if e["ph"] == "i":
+        assert e.get("s") == "t", f"instant without scope: {e}"
+    track = (e["pid"], e["tid"])
+    prev = last_ts.get(track)
+    assert prev is None or e["ts"] >= prev, \
+        f"ts went backwards on track {track}: {prev} -> {e['ts']}"
+    last_ts[track] = e["ts"]
+
+begins = sum(1 for e in events if e["ph"] == "B")
+ends = sum(1 for e in events if e["ph"] == "E")
+assert begins == ends, f"unbalanced spans: {begins} B vs {ends} E"
+print(f"trace OK: {len(events)} events on {len(last_ts)} tracks, "
+      f"phases {sorted(phases)}, categories {sorted(categories)}, "
+      f"{begins} balanced spans")
+EOF
+
+# Metrics CSV: exact header, every row 4 comma-separated fields.
+head -n 1 "${METRICS}" | grep -qx 'series,time_s,metric,value' \
+  || { echo "error: bad metrics CSV header" >&2; exit 1; }
+ROWS="$(tail -n +2 "${METRICS}" | wc -l)"
+BAD="$(tail -n +2 "${METRICS}" | awk -F, 'NF != 4' | head -n 3)"
+if [[ -n "${BAD}" ]]; then
+  echo "error: malformed metrics CSV rows:" >&2
+  echo "${BAD}" >&2
+  exit 1
+fi
+echo "metrics OK: ${ROWS} rows"
+
+if [[ "${CHECK_DETERMINISM:-0}" != "0" ]]; then
+  echo "re-running at --threads=1 and --threads=4 (same seed)..."
+  for t in 1 4; do
+    "${BIN}" --replications=2 --threads="${t}" \
+      --trace="${WORK}/trace_t${t}.json" \
+      --metrics="${WORK}/metrics_t${t}.csv" > /dev/null
+  done
+  cmp "${WORK}/trace_t1.json" "${WORK}/trace_t4.json" \
+    || { echo "error: trace differs across --threads" >&2; exit 1; }
+  cmp "${WORK}/metrics_t1.csv" "${WORK}/metrics_t4.csv" \
+    || { echo "error: metrics differ across --threads" >&2; exit 1; }
+  echo "determinism OK: exports byte-identical at --threads=1 and 4"
+fi
+
+echo "OK: trace and metrics exports validate"
