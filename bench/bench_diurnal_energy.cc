@@ -2,47 +2,138 @@
 // paper's §6 utilisation bounds to simulated 24-hour operation. The Dell
 // tier pays its flat power curve all night; the Edison tier's energy
 // follows load much more closely in absolute terms.
+//
+// Supports multi-seed sweeps: --replications=N replays the whole day per
+// tier with independent seeds on --threads workers; hourly and daily
+// figures report mean±95% CI (docs/parallel.md). --trace/--metrics export
+// one log per sampled hour — each hour runs on a fresh testbed, so each
+// hour is its own trace pid / metrics series (docs/observability.md).
+#include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "common/bench_args.h"
+#include "common/summary.h"
 #include "common/table.h"
 #include "core/diurnal.h"
+#include "obs_bench_util.h"
+#include "sim/replication.h"
 
-int main() {
-  using namespace wimpy;
+namespace {
+
+using namespace wimpy;
+
+constexpr int kSamples = 8;
+
+struct Cell {
+  const char* name = "";
+  bool edison = true;
+};
+
+struct CellResult {
+  core::DailyReport report;
+};
+
+CellResult RunCell(const Cell& cell, Rng& root,
+                   const core::DiurnalPattern& pattern, bool want_trace,
+                   bool want_metrics) {
+  web::WebTestbedConfig config = cell.edison
+                                     ? web::EdisonWebTestbed(24, 11)
+                                     : web::DellWebTestbed(2, 1);
+  config.seed = root.Next();
+  CellResult res;
+  res.report = core::MeasureDailyEnergy(config, pattern, kSamples,
+                                        want_trace, want_metrics);
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  const int threads = ResolvedThreads(args);
 
   core::DiurnalPattern pattern;
   pattern.peak_rps = 7000;
   pattern.trough_fraction = 0.25;
 
-  struct Tier {
-    const char* name;
-    web::WebTestbedConfig config;
-  };
-  const Tier tiers[] = {
-      {"35 Edison (24 web + 11 cache)", web::EdisonWebTestbed(24, 11)},
-      {"3 Dell (2 web + 1 cache)", web::DellWebTestbed(2, 1)},
+  const std::vector<Cell> cells = {
+      {"35 Edison (24 web + 11 cache)", true},
+      {"3 Dell (2 web + 1 cache)", false},
   };
 
-  for (const auto& tier : tiers) {
-    const auto report = core::MeasureDailyEnergy(tier.config, pattern, 8);
-    TextTable table(std::string("Diurnal day on ") + tier.name);
-    table.SetHeader({"Hour", "Offered rps", "Served rps", "Power"});
-    for (const auto& h : report.hours) {
-      table.AddRow({TextTable::Num(h.hour, 1),
-                    TextTable::Num(h.offered_rps, 0),
-                    TextTable::Num(h.achieved_rps, 0),
-                    TextTable::Num(h.power, 1) + " W"});
+  const sim::SweepPlan plan{args.replications, threads, args.seed};
+  const bool want_trace = !args.trace_path.empty();
+  const bool want_metrics = !args.metrics_path.empty();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto sweep = sim::RunSweep(cells, plan, [&](const Cell& cell, Rng& root) {
+    return RunCell(cell, root, pattern, want_trace, want_metrics);
+  });
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const auto& reps = sweep[c];
+    TextTable table(std::string("Diurnal day on ") + cells[c].name);
+    table.SetHeader({"Hour", "Offered rps", "Served rps", "Power W"});
+    const auto& hours = reps[0].report.hours;
+    for (std::size_t h = 0; h < hours.size(); ++h) {
+      const MetricSummary served =
+          SummarizeOver(reps, [&](const CellResult& r) {
+            return r.report.hours[h].achieved_rps;
+          });
+      const MetricSummary power =
+          SummarizeOver(reps, [&](const CellResult& r) {
+            return r.report.hours[h].power;
+          });
+      table.AddRow({TextTable::Num(hours[h].hour, 1),
+                    TextTable::Num(hours[h].offered_rps, 0),
+                    FormatMeanCI(served, 0), FormatMeanCI(power, 1)});
     }
     table.Print();
-    std::printf(
-        "daily: %.2e requests, %.0f kJ, %.1f requests/J\n\n",
-        report.daily_requests, report.daily_joules / 1000.0,
-        report.requests_per_joule);
+    const MetricSummary requests =
+        SummarizeOver(reps, [](const CellResult& r) {
+          return r.report.daily_requests;
+        });
+    const MetricSummary kilojoules =
+        SummarizeOver(reps, [](const CellResult& r) {
+          return r.report.daily_joules / 1000.0;
+        });
+    const MetricSummary rpj = SummarizeOver(reps, [](const CellResult& r) {
+      return r.report.requests_per_joule;
+    });
+    std::printf("daily: %.2e requests, %s kJ, %s requests/J\n\n",
+                requests.mean, FormatMeanCI(kilojoules, 0).c_str(),
+                FormatMeanCI(rpj, 1).c_str());
   }
 
   std::printf(
       "Shape: the Edison tier's ~3.5x efficiency at peak widens further\n"
       "across a whole day because its idle floor is 49 W against the\n"
       "Dell trio's 156 W (Table 3), while serving the same requests.\n");
+
+  // Flatten per-hour logs in [config][replication][hour] order — the
+  // deterministic merge order — so exports are byte-identical at any
+  // --threads.
+  if (want_trace || want_metrics) {
+    std::vector<obs::TraceLog> logs;
+    std::vector<obs::MetricsSeries> series;
+    for (auto& per_config : sweep) {
+      for (auto& rep : per_config) {
+        for (auto& log : rep.report.hour_traces) {
+          logs.push_back(std::move(log));
+        }
+        for (auto& s : rep.report.hour_metrics) {
+          series.push_back(std::move(s));
+        }
+      }
+    }
+    bench::ExportObsLogs(args, logs, series);
+  }
+  std::printf(
+      "\nSweep: %zu configs x %d replication(s) on %d thread(s) in %.2fs.\n",
+      cells.size(), plan.replications, threads, sweep_seconds);
   return 0;
 }

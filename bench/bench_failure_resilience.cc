@@ -6,42 +6,112 @@
 // One web server is killed mid-run on each platform at a load near the
 // Dell pair's knee; throughput, error rate and latency are compared before
 // and after.
+//
+// Supports multi-seed sweeps: --replications=N reruns each platform's
+// failure scenario with independent seeds on --threads workers and
+// reports mean±95% CI (docs/parallel.md). --trace/--metrics export
+// sampled connection spans and node/service probes
+// (docs/observability.md).
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
+#include "common/bench_args.h"
+#include "common/summary.h"
 #include "common/table.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "obs_bench_util.h"
+#include "sim/replication.h"
 #include "web/service.h"
 
-int main() {
-  using namespace wimpy;
+namespace {
+
+using namespace wimpy;
+
+struct Cell {
+  const char* label = "";
+  bool edison = true;
+  double concurrency = 0;
+};
+
+struct CellResult {
+  double rps_before = 0;
+  double rps_after = 0;
+  double err_before = 0;
+  double err_after = 0;
+  double delay_before_ms = 0;
+  double delay_after_ms = 0;
+  obs::TraceLog trace;
+  obs::MetricsSeries metrics;
+};
+
+CellResult RunCell(const Cell& cell, Rng& root, bool want_trace,
+                   bool want_metrics) {
+  web::WebTestbedConfig cfg = cell.edison ? web::EdisonWebTestbed(24, 11)
+                                          : web::DellWebTestbed(2, 1);
+  cfg.seed = root.Next();
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  if (want_trace) cfg.tracer = &tracer;
+  if (want_metrics) cfg.metrics = &metrics;
+  web::WebExperiment exp(std::move(cfg));
+  const auto report = exp.MeasureWithFailure(
+      web::LightMix(), cell.concurrency, 10, /*failed_servers=*/1,
+      Seconds(4), Seconds(20));
+  CellResult res;
+  res.rps_before = report.before.achieved_rps;
+  res.rps_after = report.after.achieved_rps;
+  res.err_before = 100 * report.before.error_rate;
+  res.err_after = 100 * report.after.error_rate;
+  res.delay_before_ms = 1000 * report.before.mean_response;
+  res.delay_after_ms = 1000 * report.after.mean_response;
+  if (want_trace) res.trace = tracer.TakeLog();
+  if (want_metrics) res.metrics = metrics.TakeSeries();
+  return res;
+}
+
+MetricSummary Over(const std::vector<CellResult>& reps,
+                   double CellResult::*member) {
+  return SummarizeOver(reps,
+                       [&](const CellResult& r) { return r.*member; });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  const int threads = ResolvedThreads(args);
+
+  const std::vector<Cell> cells = {
+      {"24 Edison (lose 1/24)", true, 450},
+      {"2 Dell (lose 1/2)", false, 450},
+  };
+
+  const sim::SweepPlan plan{args.replications, threads, args.seed};
+  const bool want_trace = !args.trace_path.empty();
+  const bool want_metrics = !args.metrics_path.empty();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto sweep = sim::RunSweep(cells, plan, [&](const Cell& cell, Rng& root) {
+    return RunCell(cell, root, want_trace, want_metrics);
+  });
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
 
   TextTable table("Web tier resilience: one server killed mid-run");
-  table.SetHeader({"Cluster", "rps before", "rps after", "err before",
-                   "err after", "delay before", "delay after"});
-
-  struct Case {
-    const char* label;
-    web::WebTestbedConfig config;
-    double concurrency;
-  };
-  const Case cases[] = {
-      {"24 Edison (lose 1/24)", web::EdisonWebTestbed(24, 11), 450},
-      {"2 Dell (lose 1/2)", web::DellWebTestbed(2, 1), 450},
-  };
-
-  for (const auto& c : cases) {
-    web::WebExperiment exp(c.config);
-    const auto report = exp.MeasureWithFailure(
-        web::LightMix(), c.concurrency, 10, /*failed_servers=*/1,
-        Seconds(4), Seconds(20));
-    table.AddRow({c.label,
-                  TextTable::Num(report.before.achieved_rps, 0),
-                  TextTable::Num(report.after.achieved_rps, 0),
-                  TextTable::Num(100 * report.before.error_rate, 1) + "%",
-                  TextTable::Num(100 * report.after.error_rate, 1) + "%",
-                  TextTable::Num(1000 * report.before.mean_response, 1) +
-                      " ms",
-                  TextTable::Num(1000 * report.after.mean_response, 1) +
-                      " ms"});
+  table.SetHeader({"Cluster", "rps before", "rps after", "err before %",
+                   "err after %", "delay before ms", "delay after ms"});
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const auto& reps = sweep[c];
+    table.AddRow(
+        {cells[c].label,
+         FormatMeanCI(Over(reps, &CellResult::rps_before), 0),
+         FormatMeanCI(Over(reps, &CellResult::rps_after), 0),
+         FormatMeanCI(Over(reps, &CellResult::err_before), 1),
+         FormatMeanCI(Over(reps, &CellResult::err_after), 1),
+         FormatMeanCI(Over(reps, &CellResult::delay_before_ms), 1),
+         FormatMeanCI(Over(reps, &CellResult::delay_after_ms), 1)});
   }
   table.Print();
 
@@ -49,5 +119,9 @@ int main() {
       "\nShape: the Edison fleet absorbs a 4%% load shift; the surviving\n"
       "Dell inherits 100%% extra offered load at its knee — latency and\n"
       "errors jump, the QoS cliff of Janapa Reddi et al. [29].\n");
+  bench::ExportSweepObs(args, sweep);
+  std::printf(
+      "\nSweep: %zu configs x %d replication(s) on %d thread(s) in %.2fs.\n",
+      cells.size(), plan.replications, threads, sweep_seconds);
   return 0;
 }

@@ -5,33 +5,112 @@
 // retransmitted on the exponential backoff schedule — while the 24-Edison
 // cluster, with 12x the connection-setup resources, shows far fewer
 // reconnects.
+//
+// Supports multi-seed sweeps: --replications=N runs each platform N times
+// with independent seeds on --threads workers, reports the scalar metrics
+// as mean±95% CI and merges the per-replication histograms into one
+// distribution (docs/parallel.md, docs/observability.md).
+#include <chrono>
 #include <cstdio>
 
-#include "common/table.h"
+#include "common/bench_args.h"
+#include "common/summary.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "obs_bench_util.h"
+#include "sim/replication.h"
 #include "web_bench_util.h"
 
-int main() {
-  using namespace wimpy;
+namespace {
 
-  const web::WorkloadMix mix = web::HeavyMix();
-  const double target_rps = 6000;
+using namespace wimpy;
 
-  for (bool edison : {true, false}) {
-    const bench::WebScale scale =
-        edison ? bench::EdisonScales().back() : bench::DellScales().back();
-    web::WebExperiment exp = bench::MakeExperiment(scale);
-    const web::OpenLoopReport report = exp.MeasureOpenLoop(
-        mix, target_rps, bench::MeasureWindow(), /*histogram_max_s=*/8.0,
-        /*histogram_buckets=*/32);
+constexpr double kTargetRps = 6000;
+constexpr double kHistMaxS = 8.0;
+constexpr std::size_t kHistBuckets = 32;
+
+struct Cell {
+  bool edison = true;
+};
+
+struct CellResult {
+  double target_rps = 0;
+  double achieved_rps = 0;
+  double error_rate = 0;
+  double mean_delay_ms = 0;
+  LinearHistogram hist{0.0, kHistMaxS, kHistBuckets};
+  obs::TraceLog trace;
+  obs::MetricsSeries metrics;
+};
+
+CellResult RunCell(const Cell& cell, Rng& root, bool want_trace,
+                   bool want_metrics) {
+  const bench::WebScale scale = cell.edison ? bench::EdisonScales().back()
+                                            : bench::DellScales().back();
+  web::WebTestbedConfig cfg =
+      cell.edison
+          ? web::EdisonWebTestbed(scale.web_servers, scale.cache_servers)
+          : web::DellWebTestbed(scale.web_servers, scale.cache_servers);
+  cfg.seed = root.Next();
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  if (want_trace) cfg.tracer = &tracer;
+  if (want_metrics) cfg.metrics = &metrics;
+  web::WebExperiment exp(std::move(cfg));
+  const web::OpenLoopReport r =
+      exp.MeasureOpenLoop(web::HeavyMix(), kTargetRps,
+                          bench::MeasureWindow(), kHistMaxS, kHistBuckets);
+  CellResult res;
+  res.target_rps = r.target_rps;
+  res.achieved_rps = r.achieved_rps;
+  res.error_rate = r.error_rate;
+  res.mean_delay_ms = 1000 * r.client_delay.mean();
+  res.hist = r.delay_histogram;
+  if (want_trace) res.trace = tracer.TakeLog();
+  if (want_metrics) res.metrics = metrics.TakeSeries();
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  const int threads = ResolvedThreads(args);
+
+  const std::vector<Cell> cells = {{true}, {false}};
+  const sim::SweepPlan plan{args.replications, threads, args.seed};
+  const bool want_trace = !args.trace_path.empty();
+  const bool want_metrics = !args.metrics_path.empty();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto sweep = sim::RunSweep(cells, plan, [&](const Cell& cell, Rng& root) {
+    return RunCell(cell, root, want_trace, want_metrics);
+  });
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const bool edison = cells[c].edison;
+    const auto& reps = sweep[c];
+    const MetricSummary achieved = SummarizeOver(
+        reps, [](const CellResult& r) { return r.achieved_rps; });
+    const MetricSummary errors = SummarizeOver(
+        reps, [](const CellResult& r) { return 100 * r.error_rate; });
+    const MetricSummary delay = SummarizeOver(
+        reps, [](const CellResult& r) { return r.mean_delay_ms; });
 
     std::printf("== Figure %d: delay distribution on %s cluster ==\n",
                 edison ? 10 : 11, edison ? "Edison" : "Dell");
     std::printf(
-        "target %.0f req/s, achieved %.0f req/s, error rate %.1f%%, mean "
-        "client delay %.0f ms\n",
-        report.target_rps, report.achieved_rps, 100 * report.error_rate,
-        1000 * report.client_delay.mean());
-    std::fputs(report.delay_histogram.ToAscii(46).c_str(), stdout);
+        "target %.0f req/s, achieved %s req/s, error rate %s%%, mean "
+        "client delay %s ms\n",
+        kTargetRps, FormatMeanCI(achieved, 0).c_str(),
+        FormatMeanCI(errors, 1).c_str(), FormatMeanCI(delay, 0).c_str());
+    // One distribution over all replications: histograms merge exactly
+    // because every replication uses identical bucket edges.
+    LinearHistogram merged{0.0, kHistMaxS, kHistBuckets};
+    for (const CellResult& r : reps) merged.Merge(r.hist);
+    std::fputs(merged.ToAscii(46).c_str(), stdout);
     std::printf("\n");
   }
 
@@ -40,5 +119,9 @@ int main() {
       "distribution; Dell's histogram has secondary spikes near 1, 3 and\n"
       "7 seconds (SYN retransmission backoff), because ~3000 fresh\n"
       "connections/sec funnel into only 2 servers' accept queues.\n");
+  bench::ExportSweepObs(args, sweep);
+  std::printf(
+      "\nSweep: %zu configs x %d replication(s) on %d thread(s) in %.2fs.\n",
+      cells.size(), plan.replications, threads, sweep_seconds);
   return 0;
 }

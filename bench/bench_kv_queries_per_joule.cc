@@ -3,57 +3,158 @@
 // wimpy-node agenda; the paper's Table 1 lists FAWN as the other
 // sensor-class system). Compares Edison and Dell tiers at matched offered
 // load and at each tier's own saturation point.
+//
+// Supports multi-seed sweeps: --replications=N reruns every (qps,
+// platform) cell — and the failover scenario — with independent seeds on
+// --threads workers and reports mean±95% CI (docs/parallel.md). --trace /
+// --metrics export sampled query spans and per-store node probes
+// (docs/observability.md).
+#include <chrono>
 #include <cstdio>
 
+#include "common/bench_args.h"
+#include "common/summary.h"
 #include "common/table.h"
 #include "hw/profiles.h"
 #include "kv/experiment.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "obs_bench_util.h"
+#include "sim/replication.h"
 
-int main() {
-  using namespace wimpy;
+namespace {
 
-  kv::KvExperimentConfig edison;
-  edison.node_profile = hw::EdisonProfile();
-  edison.node_count = 10;  // NIC rule of thumb: 10 Edisons per Dell
-  kv::KvExperimentConfig dell = edison;
-  dell.node_profile = hw::DellR620Profile();
-  dell.node_count = 1;
+using namespace wimpy;
 
-  TextTable table("FAWN-style key-value serving (90% GET, 1 KB values)");
-  table.SetHeader({"Deployment", "Offered qps", "Achieved", "Mean lat",
-                   "p99 lat", "Power", "Queries/J"});
+struct Cell {
+  double qps = 0;
+  bool edison = true;
+  bool failover = false;
+};
 
+struct CellResult {
+  double achieved_qps = 0;
+  double error_rate = 0;
+  double mean_lat_ms = 0;
+  double p99_lat_ms = 0;
+  double power_w = 0;
+  double queries_per_joule = 0;
+  obs::TraceLog trace;
+  obs::MetricsSeries metrics;
+};
+
+kv::KvExperimentConfig BaseConfig(bool edison) {
+  kv::KvExperimentConfig config;
+  config.node_profile =
+      edison ? hw::EdisonProfile() : hw::DellR620Profile();
+  // NIC rule of thumb: 10 Edisons per Dell.
+  config.node_count = edison ? 10 : 1;
+  return config;
+}
+
+CellResult RunCell(const Cell& cell, Rng& root, bool want_trace,
+                   bool want_metrics) {
+  kv::KvExperimentConfig config = BaseConfig(cell.edison);
+  if (cell.failover) config.replication = 2;
+  config.seed = root.Next();
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  if (want_trace) config.tracer = &tracer;
+  if (want_metrics) config.metrics = &metrics;
+  kv::KvExperiment exp(std::move(config));
+  const kv::KvReport r =
+      cell.failover
+          ? exp.MeasureWithFailover(cell.qps, /*failed_nodes=*/2,
+                                    Seconds(12))
+          : exp.Measure(cell.qps, Seconds(12));
+  CellResult res;
+  res.achieved_qps = r.achieved_qps;
+  res.error_rate = r.error_rate;
+  res.mean_lat_ms = 1000 * r.mean_latency;
+  res.p99_lat_ms = 1000 * r.p99_latency;
+  res.power_w = r.store_power;
+  res.queries_per_joule = r.queries_per_joule;
+  if (want_trace) res.trace = tracer.TakeLog();
+  if (want_metrics) res.metrics = metrics.TakeSeries();
+  return res;
+}
+
+MetricSummary Over(const std::vector<CellResult>& reps,
+                   double CellResult::*member) {
+  return SummarizeOver(reps,
+                       [&](const CellResult& r) { return r.*member; });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  const int threads = ResolvedThreads(args);
+
+  // The (qps, platform) grid rows, then the failover scenario as the
+  // last cell so exports stay in table order.
+  std::vector<Cell> cells;
   for (double qps : {500.0, 2000.0, 8000.0}) {
     for (bool is_edison : {true, false}) {
-      kv::KvExperiment exp(is_edison ? edison : dell);
-      const kv::KvReport r = exp.Measure(qps, Seconds(12));
-      table.AddRow({is_edison ? "10x Edison" : "1x Dell R620",
-                    TextTable::Num(qps, 0),
-                    TextTable::Num(r.achieved_qps, 0),
-                    FormatDuration(r.mean_latency),
-                    FormatDuration(r.p99_latency),
-                    TextTable::Num(r.store_power, 1) + " W",
-                    TextTable::Num(r.queries_per_joule, 0)});
+      cells.push_back({qps, is_edison, /*failover=*/false});
     }
+  }
+  cells.push_back({2000.0, /*edison=*/true, /*failover=*/true});
+
+  const sim::SweepPlan plan{args.replications, threads, args.seed};
+  const bool want_trace = !args.trace_path.empty();
+  const bool want_metrics = !args.metrics_path.empty();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto sweep = sim::RunSweep(cells, plan, [&](const Cell& cell, Rng& root) {
+    return RunCell(cell, root, want_trace, want_metrics);
+  });
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  TextTable table("FAWN-style key-value serving (90% GET, 1 KB values)");
+  table.SetHeader({"Deployment", "Offered qps", "Achieved", "Mean lat ms",
+                   "p99 lat ms", "Power W", "Queries/J"});
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const Cell& cell = cells[c];
+    if (cell.failover) continue;
+    const auto& reps = sweep[c];
+    table.AddRow({cell.edison ? "10x Edison" : "1x Dell R620",
+                  TextTable::Num(cell.qps, 0),
+                  FormatMeanCI(Over(reps, &CellResult::achieved_qps), 0),
+                  FormatMeanCI(Over(reps, &CellResult::mean_lat_ms), 2),
+                  FormatMeanCI(Over(reps, &CellResult::p99_lat_ms), 2),
+                  FormatMeanCI(Over(reps, &CellResult::power_w), 1),
+                  FormatMeanCI(Over(reps, &CellResult::queries_per_joule),
+                               0)});
   }
   table.Print();
 
   // FAWN's fault-tolerance column: replication 2 with mid-run failures.
-  kv::KvExperimentConfig replicated = edison;
-  replicated.replication = 2;
-  kv::KvExperiment exp(replicated);
-  const kv::KvReport failover =
-      exp.MeasureWithFailover(2000, /*failed_nodes=*/2, Seconds(12));
+  const auto& failover_reps = sweep.back();
   std::printf(
       "\nFailover (replication 2, 2 of 10 nodes crash mid-run): "
-      "%.0f/%.0f qps served, %.1f%% dropped, mean %.1f ms.\n",
-      failover.achieved_qps, failover.target_qps,
-      100 * failover.error_rate, 1000 * failover.mean_latency);
+      "%s/%.0f qps served, %s%% dropped, mean %s ms.\n",
+      FormatMeanCI(Over(failover_reps, &CellResult::achieved_qps), 0)
+          .c_str(),
+      cells.back().qps,
+      FormatMeanCI(SummarizeOver(failover_reps,
+                                 [](const CellResult& r) {
+                                   return 100 * r.error_rate;
+                                 }),
+                   1)
+          .c_str(),
+      FormatMeanCI(Over(failover_reps, &CellResult::mean_lat_ms), 1)
+          .c_str());
 
   std::printf(
       "\nShape (FAWN's thesis): the wimpy tier matches the brawny tier's\n"
       "throughput at a fraction of the power, so queries-per-joule is\n"
       "several-fold higher — consistent with this paper's web results;\n"
       "and the ring absorbs node failures with no visible outage.\n");
+  bench::ExportSweepObs(args, sweep);
+  std::printf(
+      "\nSweep: %zu configs x %d replication(s) on %d thread(s) in %.2fs.\n",
+      cells.size(), plan.replications, threads, sweep_seconds);
   return 0;
 }

@@ -15,9 +15,10 @@ void PrintUsage(const char* prog) {
                "usage: %s [--replications=N] [--threads=K] [--seed=S]\n"
                "          [--trace=FILE] [--metrics=FILE]\n"
                "  --replications=N  seeds per configuration (default 1)\n"
-               "  --threads=K       sweep worker threads (default: hardware "
-               "concurrency)\n"
-               "  --seed=S          base seed for the replication seed tree\n"
+               "  --threads=K       sweep worker threads; 0 = hardware "
+               "concurrency (default 0)\n"
+               "  --seed=S          base seed for the replication seed tree "
+               "(non-negative)\n"
                "  --trace=FILE      export Chrome trace-event JSON "
                "(Perfetto-loadable)\n"
                "  --metrics=FILE    export sampled metrics time series as "
@@ -71,6 +72,13 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
       }
       args.threads = static_cast<int>(value);
     } else if (ParseValue(argv[i], "--seed", &value)) {
+      // A negative seed would silently wrap through the uint64_t cast to
+      // a huge unrelated seed tree; reject it instead.
+      if (value < 0) {
+        std::fprintf(stderr,
+                     "error: --seed must be >= 0 (got %lld)\n", value);
+        std::exit(2);
+      }
       args.seed = static_cast<std::uint64_t>(value);
     } else if (ParseString(argv[i], "--trace", &args.trace_path) ||
                ParseString(argv[i], "--metrics", &args.metrics_path)) {

@@ -37,21 +37,39 @@ double LinearHistogram::BucketHigh(std::size_t i) const {
   return lo_ + width_ * static_cast<double>(i + 1);
 }
 
+void LinearHistogram::Merge(const LinearHistogram& other) {
+  assert(lo_ == other.lo_);
+  assert(width_ == other.width_);
+  assert(counts_.size() == other.counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
 std::size_t LinearHistogram::ArgMaxBucket() const {
-  return static_cast<std::size_t>(
-      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+  const auto it = std::max_element(counts_.begin(), counts_.end());
+  if (*it == 0) return counts_.size();  // all-empty: end sentinel
+  return static_cast<std::size_t>(it - counts_.begin());
 }
 
 std::string LinearHistogram::ToAscii(std::size_t max_bar_width) const {
+  bool any = false;
   std::size_t last_nonzero = 0;
   std::size_t max_count = 1;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
-    if (counts_[i] > 0) last_nonzero = i;
+    if (counts_[i] > 0) {
+      any = true;
+      last_nonzero = i;
+    }
     max_count = std::max(max_count, counts_[i]);
   }
   std::string out;
   char buf[128];
-  for (std::size_t i = 0; i <= last_nonzero; ++i) {
+  if (!any) out += "(no in-range samples)\n";
+  for (std::size_t i = 0; any && i <= last_nonzero; ++i) {
     const std::size_t bar =
         counts_[i] * max_bar_width / max_count;
     std::snprintf(buf, sizeof(buf), "[%8.3f, %8.3f) %8zu | ", BucketLow(i),

@@ -18,6 +18,11 @@ class LinearHistogram {
 
   void Add(double x);
 
+  // Adds another histogram's counts into this one. Both must have been
+  // constructed with identical (lo, hi, num_buckets); sweeps use this to
+  // aggregate per-replication histograms into one distribution.
+  void Merge(const LinearHistogram& other);
+
   std::size_t bucket_count() const { return counts_.size(); }
   // Lower edge of bucket i.
   double BucketLow(std::size_t i) const;
@@ -27,12 +32,15 @@ class LinearHistogram {
   std::size_t overflow() const { return overflow_; }
   std::size_t total() const { return total_; }
 
-  // Index of the bucket with the largest count (first on ties).
+  // Index of the bucket with the largest count (first on ties). Returns
+  // bucket_count() — an end sentinel — when every bucket is empty, so an
+  // all-zero histogram is never mistaken for one peaking in bucket 0.
   std::size_t ArgMaxBucket() const;
 
   // Multi-line ASCII rendering: one row per bucket with a '#' bar, e.g.
   //   [0.00, 0.25)  412 | ##########
-  // Rows after the last non-empty bucket are omitted.
+  // Rows after the last non-empty bucket are omitted; a histogram with no
+  // in-range samples renders no bucket rows at all (a note when empty).
   std::string ToAscii(std::size_t max_bar_width = 50) const;
 
  private:

@@ -17,7 +17,8 @@ class OnlineStats {
 
   std::size_t count() const { return count_; }
   double mean() const { return count_ == 0 ? 0.0 : mean_; }
-  // Population variance; 0 for fewer than 2 samples.
+  // Sample variance (Bessel's n-1 denominator, matching
+  // Summarize().stddev); 0 for fewer than 2 samples.
   double variance() const;
   double stddev() const;
   double min() const { return count_ == 0 ? 0.0 : min_; }

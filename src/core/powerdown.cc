@@ -25,11 +25,29 @@ std::vector<StrategyOutcome> EvaluatePowerDown(PaperJob job,
                                                int total_nodes,
                                                int covering_nodes,
                                                Duration horizon,
-                                               PowerDownCosts costs) {
+                                               PowerDownCosts costs,
+                                               PowerDownOptions options) {
   covering_nodes = std::clamp(covering_nodes, 1, total_nodes);
   auto config_for = [&](int nodes) {
     return edison_cluster ? mapreduce::EdisonMrCluster(nodes)
                           : mapreduce::DellMrCluster(nodes);
+  };
+  // Runs one strategy's job with per-run observability sinks (a fresh
+  // testbed registers fresh probes, so the registry must not be shared
+  // across strategy runs).
+  auto run_strategy = [&](int nodes, StrategyOutcome* outcome) {
+    mapreduce::MrClusterConfig config = config_for(nodes);
+    if (options.seed != 0) config.seed = options.seed;
+    obs::Tracer tracer;
+    obs::MetricsRegistry registry;
+    if (options.capture_trace) config.tracer = &tracer;
+    if (options.capture_metrics) config.metrics = &registry;
+    const auto run = RunPaperJob(job, std::move(config));
+    if (options.capture_trace) outcome->trace = tracer.TakeLog();
+    if (options.capture_metrics) {
+      outcome->metrics = registry.TakeSeries();
+    }
+    return run;
   };
   const hw::HardwareProfile profile =
       config_for(total_nodes).slave_profile;
@@ -40,8 +58,8 @@ std::vector<StrategyOutcome> EvaluatePowerDown(PaperJob job,
 
   // Always-on baseline: full-width run, every node powered all horizon.
   {
-    const auto run = RunPaperJob(job, config_for(total_nodes));
     StrategyOutcome outcome;
+    const auto run = run_strategy(total_nodes, &outcome);
     outcome.strategy = "always-on";
     outcome.active_nodes = total_nodes;
     outcome.makespan = run.job.elapsed;
@@ -57,8 +75,8 @@ std::vector<StrategyOutcome> EvaluatePowerDown(PaperJob job,
 
   // All-In Strategy: wake all, sprint, shut down; zero power otherwise.
   {
-    const auto run = RunPaperJob(job, config_for(total_nodes));
     StrategyOutcome outcome;
+    const auto run = run_strategy(total_nodes, &outcome);
     outcome.strategy = "all-in (AIS)";
     outcome.active_nodes = total_nodes;
     outcome.makespan =
@@ -74,8 +92,8 @@ std::vector<StrategyOutcome> EvaluatePowerDown(PaperJob job,
 
   // Covering Set: wake the covering subset only.
   {
-    const auto run = RunPaperJob(job, config_for(covering_nodes));
     StrategyOutcome outcome;
+    const auto run = run_strategy(covering_nodes, &outcome);
     outcome.strategy = "covering-set (CS)";
     outcome.active_nodes = covering_nodes;
     outcome.makespan =

@@ -14,10 +14,13 @@
 #ifndef WIMPY_CORE_POWERDOWN_H_
 #define WIMPY_CORE_POWERDOWN_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/experiments.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace wimpy::core {
 
@@ -35,6 +38,19 @@ struct StrategyOutcome {
   Duration makespan = 0;        // job time + transitions
   Joules cluster_joules = 0;    // active nodes + transition energy
   double work_done_per_joule = 0;  // input MB / joules (0 if no input)
+  // Observability capture for this strategy's MapReduce run (empty
+  // unless requested via PowerDownOptions). Each strategy runs its own
+  // testbed, so each outcome keeps its own log.
+  obs::TraceLog trace;
+  obs::MetricsSeries metrics;
+};
+
+struct PowerDownOptions {
+  // Seed applied to every strategy's cluster config; 0 keeps the
+  // config's built-in default, preserving existing golden outputs.
+  std::uint64_t seed = 0;
+  bool capture_trace = false;
+  bool capture_metrics = false;
 };
 
 // Evaluates one batch job arriving at an idle, fully powered-down cluster
@@ -46,7 +62,8 @@ struct StrategyOutcome {
 // `horizon` with the job run at full width.
 std::vector<StrategyOutcome> EvaluatePowerDown(
     PaperJob job, bool edison_cluster, int total_nodes, int covering_nodes,
-    Duration horizon = Hours(1), PowerDownCosts costs = {});
+    Duration horizon = Hours(1), PowerDownCosts costs = {},
+    PowerDownOptions options = {});
 
 }  // namespace wimpy::core
 

@@ -39,7 +39,8 @@ sim::Process DriveLoad(hw::ServerNode& node, double load,
 }  // namespace
 
 ProportionalityReport MeasureProportionality(
-    const hw::HardwareProfile& profile, const std::vector<double>& loads) {
+    const hw::HardwareProfile& profile, const std::vector<double>& loads,
+    bool capture_trace, bool capture_metrics) {
   ProportionalityReport report;
   report.idle_power = profile.power.idle;
   report.busy_power = profile.power.busy;
@@ -48,12 +49,33 @@ ProportionalityReport MeasureProportionality(
 
   constexpr Duration kWindow = Seconds(60);
   double gap_sum = 0;
+  int point_index = 0;
   for (double load : loads) {
     sim::Scheduler sched;
     hw::ServerNode node(&sched, profile, 0);
+    // Per-point sinks: each point's node registers fresh probes, so the
+    // registry must not outlive its scheduler.
+    obs::Tracer tracer;
+    obs::MetricsRegistry registry;
+    if (capture_metrics) {
+      node.PublishMetrics(&registry, "node");
+      registry.Start(&sched, Seconds(1));
+    }
+    if (capture_trace) {
+      tracer.BeginSpanAt(0, "load_point", obs::Category::kApp,
+                         /*track=*/0, point_index);
+    }
     sim::Spawn(sched, DriveLoad(node, std::clamp(load, 0.0, 1.0),
                                 kWindow));
     sched.Run(kWindow);
+    if (capture_metrics) {
+      registry.Stop();
+      registry.SampleNow();
+    }
+    if (capture_trace) {
+      tracer.EndSpanAt(sched.now(), "load_point", obs::Category::kApp,
+                       /*track=*/0, point_index);
+    }
     PowerCurvePoint point;
     point.load = load;
     point.power = node.power().CumulativeJoules() / kWindow;
@@ -62,6 +84,11 @@ ProportionalityReport MeasureProportionality(
     gap_sum += point.normalized - load *
         (profile.power.busy - 0) / profile.power.busy;
     sched.Run();
+    if (capture_trace) report.point_traces.push_back(tracer.TakeLog());
+    if (capture_metrics) {
+      report.point_metrics.push_back(registry.TakeSeries());
+    }
+    ++point_index;
   }
   report.proportionality_gap =
       gap_sum / static_cast<double>(loads.size());

@@ -28,6 +28,32 @@ struct KvTestbed {
                                                 config.store, rng.Next()));
     }
     for (auto* node : client_nodes) client_ids.push_back(node->id());
+
+    tracer = config.tracer;
+    metrics = config.metrics;
+    trace_sample_every = std::max(1, config.trace_sample_every);
+    if (metrics != nullptr) {
+      // Probe registration order is fixed (store tier, then links), so
+      // exported column order is deterministic.
+      for (std::size_t i = 0; i < stores.size(); ++i) {
+        stores[i]->node().PublishMetrics(metrics,
+                                         "kv" + std::to_string(i));
+      }
+      fabric.PublishMetrics(metrics, "net");
+    }
+  }
+
+  // 1-in-N query trace sampling, mirroring the web testbed: the counter
+  // is part of the testbed, not the random streams, so tracing on/off
+  // never changes simulated behaviour.
+  obs::Tracer* TraceFor(std::int32_t* track) {
+    const std::uint64_t query = query_counter_++;
+    if (tracer == nullptr ||
+        query % static_cast<std::uint64_t>(trace_sample_every) != 0) {
+      return nullptr;
+    }
+    *track = static_cast<std::int32_t>(query & 0x7fffffff);
+    return tracer;
   }
 
   sim::Scheduler sched;
@@ -36,6 +62,10 @@ struct KvTestbed {
   Rng rng;
   std::vector<std::unique_ptr<KvNode>> stores;
   std::vector<int> client_ids;
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  int trace_sample_every = 64;
+  std::uint64_t query_counter_ = 0;
 };
 
 struct KvWindow {
@@ -61,8 +91,17 @@ KvNode* RouteToHealthy(KvTestbed& tb, std::size_t position) {
 sim::Process OneQuery(KvTestbed& tb, const KvExperimentConfig& config,
                       KvWindow& window, Rng rng) {
   const SimTime started = tb.sched.now();
+  std::int32_t track = 0;
+  obs::Tracer* tr = tb.TraceFor(&track);
   const std::size_t position = rng.NextBelow(tb.stores.size());
   KvNode* store = RouteToHealthy(tb, position);
+  obs::ScopedSpan query_span(
+      tr, &tb.sched, "query", obs::Category::kRequest, track,
+      store != nullptr ? store->node().id() : -1);
+  if (tr != nullptr && store == nullptr) {
+    tr->InstantAt(tb.sched.now(), "route_failed", obs::Category::kNet,
+                  track);
+  }
   const int client =
       tb.client_ids[rng.NextBelow(tb.client_ids.size())];
   const Bytes value = std::max<Bytes>(
@@ -123,11 +162,16 @@ KvReport KvExperiment::Measure(double target_qps, Duration measure) {
   Joules spent = 0;
   tb.sched.ScheduleAt(window.end, [&] {
     spent = tb.clstr.CumulativeJoules({"kv-store"}) - epoch;
+    if (tb.metrics != nullptr) tb.metrics->Stop();
   });
 
+  if (tb.metrics != nullptr) tb.metrics->Start(&tb.sched, Seconds(1));
   sim::Spawn(tb.sched,
              Arrivals(tb, config_, window, target_qps, tb.rng.Fork()));
   tb.sched.Run();
+  // Final sample after the queue drains: cumulative counters now match
+  // the report exactly.
+  if (tb.metrics != nullptr) tb.metrics->SampleNow();
 
   KvReport report;
   report.target_qps = target_qps;
@@ -157,6 +201,10 @@ KvReport KvExperiment::MeasureWithFailover(double target_qps,
       failed_nodes, static_cast<int>(tb.stores.size()) - 1);
   tb.sched.ScheduleAt(window.start + measure / 2, [&tb, to_fail] {
     for (int i = 0; i < to_fail; ++i) tb.stores[i]->set_failed(true);
+    if (tb.tracer != nullptr) {
+      tb.tracer->InstantAt(tb.sched.now(), "nodes_failed",
+                           obs::Category::kNet, /*track=*/0, to_fail);
+    }
   });
 
   Joules epoch = 0;
@@ -166,11 +214,14 @@ KvReport KvExperiment::MeasureWithFailover(double target_qps,
   Joules spent = 0;
   tb.sched.ScheduleAt(window.end, [&] {
     spent = tb.clstr.CumulativeJoules({"kv-store"}) - epoch;
+    if (tb.metrics != nullptr) tb.metrics->Stop();
   });
 
+  if (tb.metrics != nullptr) tb.metrics->Start(&tb.sched, Seconds(1));
   sim::Spawn(tb.sched,
              Arrivals(tb, config_, window, target_qps, tb.rng.Fork()));
   tb.sched.Run();
+  if (tb.metrics != nullptr) tb.metrics->SampleNow();
 
   KvReport report;
   report.target_qps = target_qps;

@@ -10,6 +10,8 @@
 #include "common/units.h"
 #include "hw/profile.h"
 #include "kv/store.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace wimpy::kv {
 
@@ -24,6 +26,14 @@ struct KvExperimentConfig {
   // Nodes failed mid-run by FailNodes(); reads/writes route to the next
   // healthy successor.
   std::uint64_t seed = 20090101;  // FAWN's year
+  // Observability sinks (optional; null = zero overhead, identical
+  // simulated behaviour). The tracer records a "query" span for
+  // 1-in-`trace_sample_every` queries; the registry samples per-store
+  // node probes (`kv<i>.*`) and fabric link probes once per simulated
+  // second for the duration of the measurement window.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  int trace_sample_every = 64;
 };
 
 struct KvReport {

@@ -162,8 +162,9 @@ sim::Process MapReduceJob::Driver() {
 
 sim::Process MapReduceJob::MapTask(Split split, int task_index) {
   sim::Scheduler& sched = fabric_->scheduler();
+  const std::int32_t track = next_span_track_++;
   obs::ScopedSpan task_span(tracer_, &sched, "map", obs::Category::kTask,
-                            next_span_track_++, task_index);
+                            track, task_index);
   Container container =
       co_await yarn_->Allocate(spec_.map_container_mem,
                                split.preferred_nodes);
@@ -210,18 +211,24 @@ sim::Process MapReduceJob::MapTask(Split split, int task_index) {
     co_await node->cpu().Execute(Derated(map_minstr / kSlices));
   }
 
-  // Map output, optionally combined, spilled to local disk.
+  // Map output, optionally combined, spilled to local disk. The combine +
+  // spill write is the map-side "spill" phase: a child span nested inside
+  // this attempt's "map" span (same track).
   Bytes output = static_cast<Bytes>(spec_.map_output_ratio *
                                     static_cast<double>(split.bytes));
-  if (spec_.has_combiner && output > 0) {
-    const double output_mb = static_cast<double>(output) / 1e6;
-    co_await node->cpu().Execute(
-        Derated(spec_.combiner_minstr_per_mb * output_mb));
-    output = static_cast<Bytes>(spec_.combiner_survival *
-                                static_cast<double>(output));
-  }
   if (output > 0) {
-    co_await node->storage().Write(output, /*buffered=*/true);
+    obs::ScopedSpan spill_span(tracer_, &sched, "spill",
+                               obs::Category::kTask, track, task_index);
+    if (spec_.has_combiner) {
+      const double output_mb = static_cast<double>(output) / 1e6;
+      co_await node->cpu().Execute(
+          Derated(spec_.combiner_minstr_per_mb * output_mb));
+      output = static_cast<Bytes>(spec_.combiner_survival *
+                                  static_cast<double>(output));
+    }
+    if (output > 0) {
+      co_await node->storage().Write(output, /*buffered=*/true);
+    }
   }
 
   // First finisher publishes; a losing duplicate discards its work.
@@ -277,9 +284,9 @@ sim::Process MapReduceJob::SpeculationMonitor() {
 
 sim::Process MapReduceJob::ReduceTask(int reduce_index) {
   sim::Scheduler& sched = fabric_->scheduler();
+  const std::int32_t track = next_span_track_++;
   obs::ScopedSpan task_span(tracer_, &sched, "reduce",
-                            obs::Category::kTask, next_span_track_++,
-                            reduce_index);
+                            obs::Category::kTask, track, reduce_index);
   // Guard against the classic slow-start deadlock: reducers hold their
   // containers until every map output arrives, so if they occupied every
   // slot while maps were still pending the job would stall forever. Like
@@ -299,25 +306,34 @@ sim::Process MapReduceJob::ReduceTask(int reduce_index) {
   co_await node->cpu().Execute(Derated(costs_.jvm_start_minstr));
 
   // Shuffle: fetch this reducer's partition from every map output as they
-  // become available.
+  // become available — the "shuffle" phase, a child span nested inside
+  // this attempt's "reduce" span (same track).
   Bytes shuffled = 0;
-  for (int m = 0; m < total_maps_; ++m) {
-    MapOutputPart part = co_await shuffle_[reduce_index]->Get();
-    ++fetches_done_;
-    if (part.bytes <= 0) continue;
-    shuffled += part.bytes;
-    // Source-side read of the spilled segment, then the wire for remote
-    // fetches.
-    hw::ServerNode* source = yarn_->NodeById(part.source_node);
-    assert(source != nullptr);
-    co_await source->storage().Read(part.bytes, /*buffered=*/true);
-    if (part.source_node != node->id()) {
-      co_await fabric_->Transfer(part.source_node, node->id(), part.bytes);
+  {
+    obs::ScopedSpan shuffle_span(tracer_, &sched, "shuffle",
+                                 obs::Category::kTask, track, reduce_index);
+    for (int m = 0; m < total_maps_; ++m) {
+      MapOutputPart part = co_await shuffle_[reduce_index]->Get();
+      ++fetches_done_;
+      if (part.bytes <= 0) continue;
+      shuffled += part.bytes;
+      // Source-side read of the spilled segment, then the wire for remote
+      // fetches.
+      hw::ServerNode* source = yarn_->NodeById(part.source_node);
+      assert(source != nullptr);
+      co_await source->storage().Read(part.bytes, /*buffered=*/true);
+      if (part.source_node != node->id()) {
+        co_await fabric_->Transfer(part.source_node, node->id(),
+                                   part.bytes);
+      }
     }
   }
 
-  // Merge pass: buffered write+read of the shuffled data on local disk.
+  // Merge pass: buffered write+read of the shuffled data on local disk —
+  // the reduce-side "spill" when the merge overflows the container.
   if (shuffled > spec_.reduce_container_mem) {
+    obs::ScopedSpan spill_span(tracer_, &sched, "spill",
+                               obs::Category::kTask, track, reduce_index);
     co_await node->storage().Write(shuffled, /*buffered=*/true);
     co_await node->storage().Read(shuffled, /*buffered=*/true);
   } else if (shuffled > 0) {

@@ -1,0 +1,66 @@
+#include "common/bench_args.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace wimpy {
+namespace {
+
+// ParseBenchArgs takes (argc, argv); this builds a mutable argv from
+// literals so tests read like command lines.
+BenchArgs Parse(std::vector<std::string> cli) {
+  cli.insert(cli.begin(), "bench");
+  std::vector<char*> argv;
+  for (std::string& arg : cli) argv.push_back(arg.data());
+  return ParseBenchArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchArgsTest, Defaults) {
+  const BenchArgs args = Parse({});
+  EXPECT_EQ(args.replications, 1);
+  EXPECT_EQ(args.threads, 0);
+  EXPECT_EQ(args.seed, 0x5EED2016u);
+  EXPECT_TRUE(args.trace_path.empty());
+  EXPECT_TRUE(args.metrics_path.empty());
+}
+
+TEST(BenchArgsTest, ParsesAllFlags) {
+  const BenchArgs args =
+      Parse({"--replications=5", "--threads=3", "--seed=42",
+             "--trace=/tmp/t.json", "--metrics=/tmp/m.csv"});
+  EXPECT_EQ(args.replications, 5);
+  EXPECT_EQ(args.threads, 3);
+  EXPECT_EQ(args.seed, 42u);
+  EXPECT_EQ(args.trace_path, "/tmp/t.json");
+  EXPECT_EQ(args.metrics_path, "/tmp/m.csv");
+}
+
+TEST(BenchArgsTest, ResolvedThreadsIsAlwaysPositive) {
+  BenchArgs args;
+  args.threads = 0;  // hardware concurrency
+  EXPECT_GE(ResolvedThreads(args), 1);
+  args.threads = 7;
+  EXPECT_EQ(ResolvedThreads(args), 7);
+}
+
+TEST(BenchArgsDeathTest, RejectsNegativeSeed) {
+  // A negative seed used to wrap silently through the uint64_t cast into
+  // a huge unrelated seed tree; it must now be an argument error.
+  EXPECT_EXIT(Parse({"--seed=-1"}), testing::ExitedWithCode(2),
+              "--seed must be >= 0");
+}
+
+TEST(BenchArgsDeathTest, RejectsNegativeReplications) {
+  EXPECT_EXIT(Parse({"--replications=0"}), testing::ExitedWithCode(2),
+              "--replications must be >= 1");
+}
+
+TEST(BenchArgsDeathTest, RejectsUnknownFlag) {
+  EXPECT_EXIT(Parse({"--bogus=1"}), testing::ExitedWithCode(2),
+              "unknown argument");
+}
+
+}  // namespace
+}  // namespace wimpy

@@ -1,8 +1,12 @@
 #include "common/stats.h"
 
+#include <cmath>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/histogram.h"
+#include "common/summary.h"
 
 namespace wimpy {
 namespace {
@@ -19,11 +23,50 @@ TEST(OnlineStatsTest, BasicMoments) {
   for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
   EXPECT_EQ(s.count(), 8u);
   EXPECT_DOUBLE_EQ(s.mean(), 5.0);
-  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
-  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  // Sample variance (Bessel's n-1): sum of squared deviations is 32.
+  EXPECT_DOUBLE_EQ(s.variance(), 32.0 / 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), std::sqrt(32.0 / 7.0));
   EXPECT_EQ(s.min(), 2.0);
   EXPECT_EQ(s.max(), 9.0);
   EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStatsTest, SingleSampleHasZeroVariance) {
+  OnlineStats s;
+  s.Add(3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+// OnlineStats::stddev() and Summarize().stddev are two routes to the same
+// quantity (one streaming, one two-pass); they must agree so sweep tables
+// and online accumulators never disagree about spread.
+TEST(OnlineStatsTest, StddevMatchesSummarize) {
+  const std::vector<double> samples = {2.0, 4.0, 4.0, 4.0,
+                                       5.0, 5.0, 7.0, 9.0};
+  OnlineStats s;
+  for (double x : samples) s.Add(x);
+  const MetricSummary summary = Summarize(samples);
+  EXPECT_EQ(summary.count, s.count());
+  EXPECT_NEAR(summary.mean, s.mean(), 1e-12);
+  EXPECT_NEAR(summary.stddev, s.stddev(), 1e-12);
+}
+
+// Merging per-shard accumulators must agree with Summarize over the
+// concatenated sample set — the invariant parallel sweeps rely on.
+TEST(OnlineStatsTest, MergeMatchesSummarize) {
+  std::vector<double> samples;
+  OnlineStats a, b;
+  for (int i = 0; i < 25; ++i) {
+    const double x = 0.1 * i * i - 1.5 * i + 3.0;
+    samples.push_back(x);
+    (i < 10 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  const MetricSummary summary = Summarize(samples);
+  EXPECT_EQ(summary.count, a.count());
+  EXPECT_NEAR(summary.mean, a.mean(), 1e-12);
+  EXPECT_NEAR(summary.stddev, a.stddev(), 1e-9);
 }
 
 TEST(OnlineStatsTest, MergeEqualsSingleStream) {
@@ -58,6 +101,43 @@ TEST(PercentileTrackerTest, ExactQuartiles) {
   EXPECT_DOUBLE_EQ(t.Percentile(1.0), 100.0);
   EXPECT_NEAR(t.Median(), 50.5, 1e-12);
   EXPECT_NEAR(t.Percentile(0.99), 99.01, 1e-9);
+}
+
+TEST(PercentileTrackerTest, EmptyReturnsZero) {
+  PercentileTracker t;
+  EXPECT_DOUBLE_EQ(t.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(1.0), 0.0);
+}
+
+TEST(PercentileTrackerTest, SingleSampleIsEveryPercentile) {
+  PercentileTracker t;
+  t.Add(42.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(0.99), 42.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(1.0), 42.0);
+}
+
+TEST(PercentileTrackerTest, OutOfRangeQuantileClamps) {
+  PercentileTracker t;
+  t.Add(1.0);
+  t.Add(2.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(1.5), 2.0);
+}
+
+TEST(PercentileTrackerTest, DuplicatesInterpolateFlat) {
+  PercentileTracker t;
+  for (int i = 0; i < 4; ++i) t.Add(5.0);
+  t.Add(10.0);
+  // Sorted: 5 5 5 5 10. Positions 0..3 are all 5, so any quantile that
+  // lands strictly inside them is exactly 5.
+  EXPECT_DOUBLE_EQ(t.Percentile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(0.75), 5.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(1.0), 10.0);
+  // 0.9 lands at position 3.6: 60% of the way from the last 5 to the 10.
+  EXPECT_NEAR(t.Percentile(0.9), 8.0, 1e-12);
 }
 
 TEST(PercentileTrackerTest, AddAfterQueryResorts) {
@@ -110,6 +190,49 @@ TEST(LinearHistogramTest, AsciiRenderingContainsBars) {
   const std::string art = h.ToAscii(10);
   EXPECT_NE(art.find("##########"), std::string::npos);
   EXPECT_NE(art.find("3.000"), std::string::npos);
+}
+
+TEST(LinearHistogramTest, EmptyHistogramRendersNoBucketRows) {
+  LinearHistogram h(0.0, 4.0, 4);
+  const std::string art = h.ToAscii(10);
+  // No spurious "[0.000, 1.000) 0" row for a histogram nothing was added
+  // to — just the empty note.
+  EXPECT_EQ(art.find('['), std::string::npos);
+  EXPECT_NE(art.find("no in-range samples"), std::string::npos);
+}
+
+TEST(LinearHistogramTest, OnlyOverflowRendersNoBucketRows) {
+  LinearHistogram h(0.0, 4.0, 4);
+  h.Add(100.0);
+  const std::string art = h.ToAscii(10);
+  EXPECT_EQ(art.find('['), std::string::npos);
+  EXPECT_NE(art.find("overflow: 1"), std::string::npos);
+}
+
+TEST(LinearHistogramTest, ArgMaxOfEmptyIsEndSentinel) {
+  LinearHistogram h(0.0, 4.0, 4);
+  EXPECT_EQ(h.ArgMaxBucket(), h.bucket_count());
+  h.Add(-1.0);   // underflow only: buckets still all empty
+  h.Add(100.0);  // overflow only
+  EXPECT_EQ(h.ArgMaxBucket(), h.bucket_count());
+  h.Add(2.5);
+  EXPECT_EQ(h.ArgMaxBucket(), 2u);
+}
+
+TEST(LinearHistogramTest, MergeAddsCountsAndOverflow) {
+  LinearHistogram a(0.0, 10.0, 10);
+  LinearHistogram b(0.0, 10.0, 10);
+  a.Add(1.5);
+  a.Add(-2.0);
+  b.Add(1.5);
+  b.Add(7.5);
+  b.Add(25.0);
+  a.Merge(b);
+  EXPECT_EQ(a.total(), 5u);
+  EXPECT_EQ(a.BucketValue(1), 2u);
+  EXPECT_EQ(a.BucketValue(7), 1u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
 }
 
 }  // namespace

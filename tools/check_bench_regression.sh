@@ -19,7 +19,9 @@
 # OBS_THRESHOLD_PCT check (default 2%) — an attached-but-absent tracer
 # must stay in the noise — and the hooks-enabled variant's delta is
 # reported alongside. Unless SKIP_OBS_RUN=1, an obs-enabled export run
-# (tools/check_trace.sh) then validates --trace/--metrics end to end.
+# (tools/check_trace.sh) then validates --trace/--metrics end to end for
+# bench_fig4_7_web_light and the sweep-converted bench_fig10_11_delay_hist,
+# including a tools/flamegraph.py folding smoke test.
 #
 # Defenses against shared-host noise (CPU steal, frequency scaling),
 # which on some hosts swings results ±30% between invocations:

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Exports a Chrome trace + metrics CSV from bench_fig4_7_web_light and
+# bench_fig10_11_delay_hist (one original + one newly converted bench) and
 # validates them: the trace must be parseable JSON in trace-event format
 # (every event carries ph/ts/name/pid/tid/cat, instants carry the scope
 # key, ts is monotonic per (pid, tid) track, span begins/ends balance) and
-# the CSV must be well-formed long format (docs/observability.md).
+# the CSV must be well-formed long format (docs/observability.md). The
+# trace is also folded through tools/flamegraph.py as a smoke test of the
+# flame-graph pipeline.
 #
 # Usage:
 #   cmake -B build -S . && cmake --build build -j
@@ -11,7 +14,7 @@
 #   BUILD_DIR=out tools/check_trace.sh
 #   CHECK_DETERMINISM=1 tools/check_trace.sh   # also run --threads=1 vs 4
 #
-# CHECK_DETERMINISM re-runs the bench at two worker-thread counts with the
+# CHECK_DETERMINISM re-runs each bench at two worker-thread counts with the
 # same seed and requires byte-identical exports (the contract obs tests
 # pin at unit level; this checks it end to end, ~3x the runtime).
 set -euo pipefail
@@ -19,23 +22,20 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
-BIN="${BUILD_DIR}/bench/bench_fig4_7_web_light"
-if [[ ! -x "${BIN}" ]]; then
-  echo "error: ${BIN} not found; build it first:" >&2
-  echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
-  exit 1
-fi
+BENCHES=(bench_fig4_7_web_light bench_fig10_11_delay_hist)
+for name in "${BENCHES[@]}"; do
+  if [[ ! -x "${BUILD_DIR}/bench/${name}" ]]; then
+    echo "error: ${BUILD_DIR}/bench/${name} not found; build it first:" >&2
+    echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+    exit 1
+  fi
+done
 
 WORK="$(mktemp -d /tmp/wimpy_trace.XXXXXX)"
 trap 'rm -rf "${WORK}"' EXIT
 
-TRACE="${WORK}/trace.json"
-METRICS="${WORK}/metrics.csv"
-echo "running ${BIN} with --trace/--metrics export..."
-"${BIN}" --replications=1 --trace="${TRACE}" --metrics="${METRICS}" \
-  > "${WORK}/stdout.txt"
-
-python3 - "${TRACE}" <<'EOF'
+validate_trace() {
+  python3 - "$1" <<'EOF'
 import json
 import sys
 
@@ -67,31 +67,60 @@ print(f"trace OK: {len(events)} events on {len(last_ts)} tracks, "
       f"phases {sorted(phases)}, categories {sorted(categories)}, "
       f"{begins} balanced spans")
 EOF
+}
 
-# Metrics CSV: exact header, every row 4 comma-separated fields.
-head -n 1 "${METRICS}" | grep -qx 'series,time_s,metric,value' \
-  || { echo "error: bad metrics CSV header" >&2; exit 1; }
-ROWS="$(tail -n +2 "${METRICS}" | wc -l)"
-BAD="$(tail -n +2 "${METRICS}" | awk -F, 'NF != 4' | head -n 3)"
-if [[ -n "${BAD}" ]]; then
-  echo "error: malformed metrics CSV rows:" >&2
-  echo "${BAD}" >&2
-  exit 1
-fi
-echo "metrics OK: ${ROWS} rows"
+validate_metrics() {
+  # Metrics CSV: exact header, every row 4 comma-separated fields.
+  head -n 1 "$1" | grep -qx 'series,time_s,metric,value' \
+    || { echo "error: bad metrics CSV header" >&2; exit 1; }
+  local rows bad
+  rows="$(tail -n +2 "$1" | wc -l)"
+  bad="$(tail -n +2 "$1" | awk -F, 'NF != 4' | head -n 3)"
+  if [[ -n "${bad}" ]]; then
+    echo "error: malformed metrics CSV rows:" >&2
+    echo "${bad}" >&2
+    exit 1
+  fi
+  echo "metrics OK: ${rows} rows"
+}
 
-if [[ "${CHECK_DETERMINISM:-0}" != "0" ]]; then
-  echo "re-running at --threads=1 and --threads=4 (same seed)..."
-  for t in 1 4; do
-    "${BIN}" --replications=2 --threads="${t}" \
-      --trace="${WORK}/trace_t${t}.json" \
-      --metrics="${WORK}/metrics_t${t}.csv" > /dev/null
-  done
-  cmp "${WORK}/trace_t1.json" "${WORK}/trace_t4.json" \
-    || { echo "error: trace differs across --threads" >&2; exit 1; }
-  cmp "${WORK}/metrics_t1.csv" "${WORK}/metrics_t4.csv" \
-    || { echo "error: metrics differ across --threads" >&2; exit 1; }
-  echo "determinism OK: exports byte-identical at --threads=1 and 4"
-fi
+check_bench() {
+  local name="$1"
+  local bin="${BUILD_DIR}/bench/${name}"
+  local trace="${WORK}/${name}.trace.json"
+  local metrics="${WORK}/${name}.metrics.csv"
+  echo "== ${name} =="
+  echo "running ${bin} with --trace/--metrics export..."
+  "${bin}" --replications=1 --trace="${trace}" --metrics="${metrics}" \
+    > "${WORK}/${name}.stdout.txt"
+  validate_trace "${trace}"
+  validate_metrics "${metrics}"
+
+  # Fold the trace for a flame graph; any non-empty output means the span
+  # nesting survived the round trip (goldens pin exact values in ctest).
+  local folded="${WORK}/${name}.folded"
+  python3 tools/flamegraph.py "${trace}" -o "${folded}"
+  [[ -s "${folded}" ]] \
+    || { echo "error: flamegraph.py produced no folded stacks" >&2; exit 1; }
+  echo "flamegraph OK: $(wc -l < "${folded}") folded stacks"
+
+  if [[ "${CHECK_DETERMINISM:-0}" != "0" ]]; then
+    echo "re-running at --threads=1 and --threads=4 (same seed)..."
+    for t in 1 4; do
+      "${bin}" --replications=2 --threads="${t}" \
+        --trace="${WORK}/${name}.trace_t${t}.json" \
+        --metrics="${WORK}/${name}.metrics_t${t}.csv" > /dev/null
+    done
+    cmp "${WORK}/${name}.trace_t1.json" "${WORK}/${name}.trace_t4.json" \
+      || { echo "error: trace differs across --threads" >&2; exit 1; }
+    cmp "${WORK}/${name}.metrics_t1.csv" "${WORK}/${name}.metrics_t4.csv" \
+      || { echo "error: metrics differ across --threads" >&2; exit 1; }
+    echo "determinism OK: exports byte-identical at --threads=1 and 4"
+  fi
+}
+
+for name in "${BENCHES[@]}"; do
+  check_bench "${name}"
+done
 
 echo "OK: trace and metrics exports validate"

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Folds the repo's observability exports into flame-graph input.
+
+Reads either a Chrome trace-event JSON written by obs::WriteChromeTrace
+(--trace exports) or a metrics CSV written by obs::WriteMetricsCsv
+(--metrics exports) and emits folded-stack lines compatible with
+flamegraph.pl / speedscope / inferno:
+
+    pid0;map;spill 182934
+    pid0;reduce;shuffle 96002
+    ...
+
+Trace mode reconstructs the span stack per (pid, tid) timeline from the
+B/E events and charges each stack its *exclusive* simulated microseconds
+(children are charged separately under the longer stack, which is what
+folded format expects). Stacks aggregate across tids of the same pid, so
+all map attempts of one replication fold together; the pid root frame
+keeps replications/nodes apart.
+
+Metrics mode folds each series' final sample per metric: the metric name
+splits on '.' into component;counter frames rooted at series<i>
+(e.g. series0;kv3;joules). Use --scale to keep sub-unit gauges visible
+after integer rounding.
+
+Output order is sorted, so for a fixed --seed the folded output is as
+byte-stable as the export it came from (tests pin this).
+
+Usage:
+    flamegraph.py TRACE.json  [-o OUT]
+    flamegraph.py METRICS.csv [-o OUT] [--scale=N]
+    flamegraph.py --mode=trace|metrics FILE ...
+"""
+
+import argparse
+import json
+import sys
+
+
+def fold_trace(doc):
+    """Returns {stack: exclusive_us} from a Chrome trace-event dict."""
+    folded = {}
+    # Per-(pid, tid) stack of [name, begin_ts, child_time_us] frames.
+    stacks = {}
+    for event in doc.get("traceEvents", []):
+        phase = event.get("ph")
+        if phase not in ("B", "E"):
+            continue
+        key = (event.get("pid", 0), event.get("tid", 0))
+        ts = float(event.get("ts", 0.0))
+        if phase == "B":
+            stacks.setdefault(key, []).append([event.get("name", "?"), ts, 0.0])
+            continue
+        stack = stacks.get(key)
+        if not stack:  # unbalanced E: tolerate, the checker flags it
+            print(f"warning: E without B on pid/tid {key}", file=sys.stderr)
+            continue
+        name, begin_ts, child_us = stack.pop()
+        inclusive = ts - begin_ts
+        exclusive = inclusive - child_us
+        frames = [f"pid{key[0]}"] + [f[0] for f in stack] + [name]
+        path = ";".join(frames)
+        folded[path] = folded.get(path, 0.0) + exclusive
+        if stack:
+            stack[-1][2] += inclusive
+    for key, stack in stacks.items():
+        if stack:
+            names = ">".join(f[0] for f in stack)
+            print(f"warning: unclosed span(s) {names} on pid/tid {key}",
+                  file=sys.stderr)
+    return folded
+
+
+def fold_metrics(lines, scale):
+    """Returns {stack: scaled_final_value} from metrics-CSV lines."""
+    final = {}
+    for line in lines:
+        line = line.strip()
+        if not line or line.startswith("series,"):
+            continue
+        parts = line.split(",")
+        if len(parts) != 4:
+            print(f"warning: skipping malformed row: {line}",
+                  file=sys.stderr)
+            continue
+        series, _time_s, metric, value = parts
+        # Rows are time-ordered per series; the last write wins, which is
+        # the final sample (for counters: the run total).
+        stack = ";".join([f"series{series}"] + metric.split("."))
+        final[stack] = float(value) * scale
+    return final
+
+
+def render(folded):
+    lines = []
+    for stack in sorted(folded):
+        value = round(folded[stack])
+        if value > 0:
+            lines.append(f"{stack} {value}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fold obs trace/metrics exports for flame graphs.")
+    parser.add_argument("input", help="Chrome trace JSON or metrics CSV")
+    parser.add_argument("-o", "--output", default="-",
+                        help="output file (default stdout)")
+    parser.add_argument("--mode", choices=["auto", "trace", "metrics"],
+                        default="auto",
+                        help="input kind (default: by file extension)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="metrics mode: multiply values before "
+                             "integer rounding (default 1)")
+    args = parser.parse_args()
+
+    mode = args.mode
+    if mode == "auto":
+        mode = "metrics" if args.input.endswith(".csv") else "trace"
+
+    with open(args.input, "r", encoding="utf-8") as f:
+        if mode == "trace":
+            folded = fold_trace(json.load(f))
+        else:
+            folded = fold_metrics(f.readlines(), args.scale)
+
+    text = render(folded)
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(text)
+
+
+if __name__ == "__main__":
+    main()
