@@ -7,7 +7,8 @@
 // Supports multi-seed sweeps: --replications=N reruns every (qps,
 // platform) cell — and the failover scenario — with independent seeds on
 // --threads workers and reports mean±95% CI (docs/parallel.md). --trace /
-// --metrics export sampled query spans and per-store node probes
+// --metrics export sampled query spans and per-store node probes;
+// --trace-summary adds the per-query latency/joules roll-up CSV
 // (docs/observability.md).
 #include <chrono>
 #include <cstdio>
@@ -17,6 +18,7 @@
 #include "common/table.h"
 #include "hw/profiles.h"
 #include "kv/experiment.h"
+#include "obs/energy.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "obs_bench_util.h"
@@ -41,6 +43,7 @@ struct CellResult {
   double queries_per_joule = 0;
   obs::TraceLog trace;
   obs::MetricsSeries metrics;
+  obs::EnergyLedger ledger;
 };
 
 kv::KvExperimentConfig BaseConfig(bool edison) {
@@ -53,14 +56,18 @@ kv::KvExperimentConfig BaseConfig(bool edison) {
 }
 
 CellResult RunCell(const Cell& cell, Rng& root, bool want_trace,
-                   bool want_metrics) {
+                   bool want_metrics, bool want_summary) {
   kv::KvExperimentConfig config = BaseConfig(cell.edison);
   if (cell.failover) config.replication = 2;
   config.seed = root.Next();
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
-  if (want_trace) config.tracer = &tracer;
+  obs::EnergyAttributor energy;
+  // The summary CSV is derived from the trace, so recording is on
+  // whenever either export is requested.
+  if (want_trace || want_summary) config.tracer = &tracer;
   if (want_metrics) config.metrics = &metrics;
+  if (want_summary) config.energy = &energy;
   kv::KvExperiment exp(std::move(config));
   const kv::KvReport r =
       cell.failover
@@ -74,8 +81,9 @@ CellResult RunCell(const Cell& cell, Rng& root, bool want_trace,
   res.p99_lat_ms = 1000 * r.p99_latency;
   res.power_w = r.store_power;
   res.queries_per_joule = r.queries_per_joule;
-  if (want_trace) res.trace = tracer.TakeLog();
+  if (want_trace || want_summary) res.trace = tracer.TakeLog();
   if (want_metrics) res.metrics = metrics.TakeSeries();
+  if (want_summary) res.ledger = energy.TakeLedger();
   return res;
 }
 
@@ -104,9 +112,10 @@ int main(int argc, char** argv) {
   const sim::SweepPlan plan{args.replications, threads, args.seed};
   const bool want_trace = !args.trace_path.empty();
   const bool want_metrics = !args.metrics_path.empty();
+  const bool want_summary = !args.trace_summary_path.empty();
   const auto t0 = std::chrono::steady_clock::now();
   auto sweep = sim::RunSweep(cells, plan, [&](const Cell& cell, Rng& root) {
-    return RunCell(cell, root, want_trace, want_metrics);
+    return RunCell(cell, root, want_trace, want_metrics, want_summary);
   });
   const double sweep_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -152,7 +161,7 @@ int main(int argc, char** argv) {
       "throughput at a fraction of the power, so queries-per-joule is\n"
       "several-fold higher — consistent with this paper's web results;\n"
       "and the ring absorbs node failures with no visible outage.\n");
-  bench::ExportSweepObs(args, sweep);
+  bench::ExportSweepObsEnergy(args, sweep);
   std::printf(
       "\nSweep: %zu configs x %d replication(s) on %d thread(s) in %.2fs.\n",
       cells.size(), plan.replications, threads, sweep_seconds);

@@ -6,9 +6,11 @@
 // machines both clusters use — grows only mildly.
 //
 // Supports multi-seed sweeps (--replications/--threads, docs/parallel.md)
-// and observability export (--trace/--metrics, docs/observability.md).
-// The exported metrics CSV's final `svc.*_delay_mean` samples reproduce
-// this table exactly; a test pins that cross-check.
+// and observability export (--trace/--metrics/--trace-summary,
+// docs/observability.md). The exported metrics CSV's final
+// `svc.*_delay_mean` samples reproduce this table exactly; a test pins
+// that cross-check, and another pins that the same decomposition is
+// re-derivable from the causal trace's critical path alone.
 #include <chrono>
 #include <cstdio>
 
@@ -16,6 +18,7 @@
 #include "common/csv.h"
 #include "common/summary.h"
 #include "common/table.h"
+#include "obs/energy.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "obs_bench_util.h"
@@ -37,10 +40,11 @@ struct CellResult {
   double total_ms = 0;
   obs::TraceLog trace;
   obs::MetricsSeries metrics;
+  obs::EnergyLedger ledger;
 };
 
 CellResult RunCell(const Cell& cell, Rng& root, bool want_trace,
-                   bool want_metrics) {
+                   bool want_metrics, bool want_summary) {
   web::WebTestbedConfig cfg =
       cell.scale.edison
           ? web::EdisonWebTestbed(cell.scale.web_servers,
@@ -50,16 +54,19 @@ CellResult RunCell(const Cell& cell, Rng& root, bool want_trace,
   cfg.seed = root.Next();
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
-  if (want_trace) cfg.tracer = &tracer;
+  obs::EnergyAttributor energy;
+  if (want_trace || want_summary) cfg.tracer = &tracer;
   if (want_metrics) cfg.metrics = &metrics;
+  if (want_summary) cfg.energy = &energy;
   web::WebExperiment exp(std::move(cfg));
   const web::OpenLoopReport r =
       exp.MeasureOpenLoop(web::HeavyMix(), cell.rate,
                           bench::MeasureWindow());
   CellResult res{1000 * r.db_delay.mean(), 1000 * r.cache_delay.mean(),
                  1000 * r.total_delay.mean()};
-  if (want_trace) res.trace = tracer.TakeLog();
+  if (want_trace || want_summary) res.trace = tracer.TakeLog();
   if (want_metrics) res.metrics = metrics.TakeSeries();
+  if (want_summary) res.ledger = energy.TakeLedger();
   return res;
 }
 
@@ -80,10 +87,11 @@ int main(int argc, char** argv) {
   const sim::SweepPlan plan{args.replications, threads, args.seed};
   const bool want_trace = !args.trace_path.empty();
   const bool want_metrics = !args.metrics_path.empty();
+  const bool want_summary = !args.trace_summary_path.empty();
   const auto t0 = std::chrono::steady_clock::now();
   auto sweep =
       sim::RunSweep(cells, plan, [&](const Cell& cell, Rng& root) {
-        return RunCell(cell, root, want_trace, want_metrics);
+        return RunCell(cell, root, want_trace, want_metrics, want_summary);
       });
   const double sweep_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -121,7 +129,7 @@ int main(int argc, char** argv) {
       " 7680: db (10.99, 1.98) cache (212.0, 0.74) total (225.1, 2.93)\n"
       "Shape: Edison cache delay grows ~45x over this range while its DB\n"
       "delay merely doubles; Dell's stays flat throughout.\n");
-  bench::ExportSweepObs(args, sweep);
+  bench::ExportSweepObsEnergy(args, sweep);
   std::printf(
       "\nSweep: %zu configs x %d replication(s) on %d thread(s) in %.2fs.\n",
       cells.size(), plan.replications, threads, sweep_seconds);

@@ -1,5 +1,5 @@
-// Shared observability plumbing for the sweep benches (--trace/--metrics;
-// see docs/observability.md).
+// Shared observability plumbing for the sweep benches (--trace/--metrics/
+// --trace-summary; see docs/observability.md).
 //
 // A bench that supports export gives its per-replication result struct
 // `obs::TraceLog trace` and `obs::MetricsSeries metrics` members, fills
@@ -8,6 +8,11 @@
 // are flattened in [config][replication] index order — the same merge
 // order RunSweep guarantees for results — so exports are byte-identical
 // at any --threads.
+//
+// Benches that additionally attribute energy to spans give the result
+// struct an `obs::EnergyLedger ledger` member (from
+// EnergyAttributor::TakeLedger()) and call ExportSweepObsEnergy instead;
+// that variant also renders the --trace-summary per-trace roll-up CSV.
 #ifndef WIMPY_BENCH_OBS_BENCH_UTIL_H_
 #define WIMPY_BENCH_OBS_BENCH_UTIL_H_
 
@@ -16,6 +21,7 @@
 #include <vector>
 
 #include "common/bench_args.h"
+#include "obs/critical_path.h"
 #include "obs/export.h"
 
 namespace wimpy::bench {
@@ -61,6 +67,41 @@ void ExportSweepObs(const BenchArgs& args, Sweep& sweep) {
       if (want_metrics) series.push_back(std::move(rep.metrics));
     }
   }
+  ExportObsLogs(args, logs, series);
+}
+
+// Like ExportSweepObs but also handles --trace-summary: the per-trace
+// roll-up (critical-path latency + attributed joules) needs both the
+// trace logs and the per-replication energy ledgers, so logs are always
+// collected when a summary is requested — even without --trace.
+template <typename Sweep>
+void ExportSweepObsEnergy(const BenchArgs& args, Sweep& sweep) {
+  const bool want_trace = !args.trace_path.empty();
+  const bool want_metrics = !args.metrics_path.empty();
+  const bool want_summary = !args.trace_summary_path.empty();
+  if (!want_trace && !want_metrics && !want_summary) return;
+  std::vector<obs::TraceLog> logs;
+  std::vector<obs::MetricsSeries> series;
+  std::vector<obs::EnergyLedger> ledgers;
+  for (auto& per_config : sweep) {
+    for (auto& rep : per_config) {
+      if (want_trace || want_summary) logs.push_back(std::move(rep.trace));
+      if (want_metrics) series.push_back(std::move(rep.metrics));
+      if (want_summary) ledgers.push_back(std::move(rep.ledger));
+    }
+  }
+  if (want_summary) {
+    const Status st = obs::WriteTraceSummaryCsv(logs, ledgers,
+                                                args.trace_summary_path);
+    if (st.ok()) {
+      std::printf("Trace summary written to %s\n",
+                  args.trace_summary_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace summary export failed: %s\n",
+                   st.message().c_str());
+    }
+  }
+  if (!want_trace) logs.clear();  // summary-only run: skip the JSON export
   ExportObsLogs(args, logs, series);
 }
 

@@ -13,7 +13,8 @@ namespace {
 void PrintUsage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--replications=N] [--threads=K] [--seed=S]\n"
-               "          [--trace=FILE] [--metrics=FILE]\n"
+               "          [--trace=FILE] [--metrics=FILE] "
+               "[--trace-summary=FILE]\n"
                "  --replications=N  seeds per configuration (default 1)\n"
                "  --threads=K       sweep worker threads; 0 = hardware "
                "concurrency (default 0)\n"
@@ -22,7 +23,10 @@ void PrintUsage(const char* prog) {
                "  --trace=FILE      export Chrome trace-event JSON "
                "(Perfetto-loadable)\n"
                "  --metrics=FILE    export sampled metrics time series as "
-               "CSV\n",
+               "CSV\n"
+               "  --trace-summary=FILE\n"
+               "                    export per-trace roll-up CSV (latency, "
+               "spans, joules)\n",
                prog);
 }
 
@@ -80,7 +84,9 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
         std::exit(2);
       }
       args.seed = static_cast<std::uint64_t>(value);
-    } else if (ParseString(argv[i], "--trace", &args.trace_path) ||
+    } else if (ParseString(argv[i], "--trace-summary",
+                           &args.trace_summary_path) ||
+               ParseString(argv[i], "--trace", &args.trace_path) ||
                ParseString(argv[i], "--metrics", &args.metrics_path)) {
       // handled
     } else {

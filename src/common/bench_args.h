@@ -12,6 +12,11 @@
 //                      of the run (benches that support it; see
 //                      docs/observability.md)
 //   --metrics=FILE     export the sampled metrics time series as CSV
+//   --trace-summary=FILE
+//                      export the per-trace roll-up CSV (root span,
+//                      latency, span count, attributed joules) computed
+//                      by obs/critical_path.h; implies trace recording
+//                      even without --trace
 //
 // Results never depend on --threads (see docs/parallel.md); it only
 // changes wall-clock time. Trace and metrics exports are likewise
@@ -28,8 +33,9 @@ struct BenchArgs {
   int replications = 1;
   int threads = 0;  // 0 = std::thread::hardware_concurrency()
   std::uint64_t seed = 0x5EED2016;
-  std::string trace_path;    // empty = no trace export
-  std::string metrics_path;  // empty = no metrics export
+  std::string trace_path;          // empty = no trace export
+  std::string metrics_path;        // empty = no metrics export
+  std::string trace_summary_path;  // empty = no per-trace summary CSV
 };
 
 // Parses the shared flags above; prints usage and exits(2) on an unknown

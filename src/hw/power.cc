@@ -48,6 +48,7 @@ void NodePowerModel::Update() {
   if (w == current_watts_) return;
   current_watts_ = w;
   watts_history_.Set(sched_->now(), w);
+  if (power_listener_) power_listener_(sched_->now(), w);
 }
 
 void NodePowerModel::SetCpuDynamicScale(double scale) {

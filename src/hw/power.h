@@ -13,6 +13,8 @@
 #ifndef WIMPY_HW_POWER_H_
 #define WIMPY_HW_POWER_H_
 
+#include <functional>
+
 #include "common/stats.h"
 #include "hw/profile.h"
 #include "sim/fair_share.h"
@@ -49,6 +51,14 @@ class NodePowerModel {
   void SetCpuDynamicScale(double scale);
   double cpu_dynamic_scale() const { return cpu_dynamic_scale_; }
 
+  // Observes every change of the piecewise-constant P(t): called with
+  // (simulated time, new watts) exactly when the level changes, which is
+  // all a consumer needs to integrate energy exactly between changes
+  // (obs::EnergyAttributor). One listener; null detaches.
+  void SetPowerListener(std::function<void(SimTime, Watts)> listener) {
+    power_listener_ = std::move(listener);
+  }
+
   const PowerSpec& spec() const { return spec_; }
 
  private:
@@ -65,6 +75,7 @@ class NodePowerModel {
   double cpu_dynamic_scale_ = 1.0;
   Watts current_watts_;
   TimeWeightedAverage watts_history_;
+  std::function<void(SimTime, Watts)> power_listener_;
 };
 
 }  // namespace wimpy::hw

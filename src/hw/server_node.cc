@@ -1,5 +1,6 @@
 #include "hw/server_node.h"
 
+#include "obs/energy.h"
 #include "obs/metrics.h"
 
 namespace wimpy::hw {
@@ -31,6 +32,12 @@ void ServerNode::PublishMetrics(obs::MetricsRegistry* registry,
                      [this] { return power_.current_watts(); });
   registry->AddCounter(prefix + ".joules",
                        [this] { return power_.CumulativeJoules(); });
+}
+
+void ServerNode::ObserveEnergy(obs::EnergyAttributor* attributor) {
+  if (attributor == nullptr) return;
+  power_.SetPowerListener(
+      attributor->ObserveNode(sched_, id_, power_.current_watts()));
 }
 
 }  // namespace wimpy::hw

@@ -19,6 +19,7 @@
 #include "sim/task.h"
 
 namespace wimpy::obs {
+class EnergyAttributor;
 class MetricsRegistry;
 }  // namespace wimpy::obs
 
@@ -51,6 +52,11 @@ class ServerNode {
   // the registry after the node is destroyed.
   void PublishMetrics(obs::MetricsRegistry* registry,
                       const std::string& prefix);
+
+  // Subscribes `attributor` to this node's power meter so span energy
+  // attribution (obs/energy.h) sees every level change of P(t). Null is
+  // a no-op; the attributor must outlive the node's power activity.
+  void ObserveEnergy(obs::EnergyAttributor* attributor);
 
  private:
   sim::Scheduler* sched_;

@@ -6,6 +6,7 @@
 
 #include "cluster/cluster.h"
 #include "hw/profiles.h"
+#include "obs/energy.h"
 #include "sim/process.h"
 
 namespace wimpy::kv {
@@ -31,7 +32,13 @@ struct KvTestbed {
 
     tracer = config.tracer;
     metrics = config.metrics;
+    energy = config.energy;
     trace_sample_every = std::max(1, config.trace_sample_every);
+    if (energy != nullptr) {
+      // Only the store tier is observed, mirroring the report's
+      // CumulativeJoules({"kv-store"}) scope.
+      for (auto& store : stores) store->node().ObserveEnergy(energy);
+    }
     if (metrics != nullptr) {
       // Probe registration order is fixed (store tier, then links), so
       // exported column order is deterministic.
@@ -43,17 +50,22 @@ struct KvTestbed {
     }
   }
 
-  // 1-in-N query trace sampling, mirroring the web testbed: the counter
-  // is part of the testbed, not the random streams, so tracing on/off
-  // never changes simulated behaviour.
-  obs::Tracer* TraceFor(std::int32_t* track) {
+  // 1-in-N query trace sampling, mirroring the web testbed: a sampled
+  // query gets a root trace handle (fresh trace id, its own track); the
+  // counter is part of the testbed, not the random streams, so tracing
+  // on/off never changes simulated behaviour.
+  obs::TraceHandle StartTrace() {
     const std::uint64_t query = query_counter_++;
     if (tracer == nullptr ||
         query % static_cast<std::uint64_t>(trace_sample_every) != 0) {
-      return nullptr;
+      return {};
     }
-    *track = static_cast<std::int32_t>(query & 0x7fffffff);
-    return tracer;
+    obs::TraceHandle handle;
+    handle.tracer = tracer;
+    handle.sched = &sched;
+    handle.track = static_cast<std::int32_t>(query & 0x7fffffff);
+    handle.ctx.trace_id = tracer->NewTraceId();
+    return handle;
   }
 
   sim::Scheduler sched;
@@ -64,6 +76,7 @@ struct KvTestbed {
   std::vector<int> client_ids;
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  obs::EnergyAttributor* energy = nullptr;
   int trace_sample_every = 64;
   std::uint64_t query_counter_ = 0;
 };
@@ -91,17 +104,15 @@ KvNode* RouteToHealthy(KvTestbed& tb, std::size_t position) {
 sim::Process OneQuery(KvTestbed& tb, const KvExperimentConfig& config,
                       KvWindow& window, Rng rng) {
   const SimTime started = tb.sched.now();
-  std::int32_t track = 0;
-  obs::Tracer* tr = tb.TraceFor(&track);
   const std::size_t position = rng.NextBelow(tb.stores.size());
   KvNode* store = RouteToHealthy(tb, position);
-  obs::ScopedSpan query_span(
-      tr, &tb.sched, "query", obs::Category::kRequest, track,
-      store != nullptr ? store->node().id() : -1);
-  if (tr != nullptr && store == nullptr) {
-    tr->InstantAt(tb.sched.now(), "route_failed", obs::Category::kNet,
-                  track);
-  }
+  // Root span of the query's trace tree (arg = serving node, -1 when
+  // routing found no healthy node); begins exactly at `started`, so the
+  // trace re-derives the report's latency and in-window query count.
+  obs::CausalSpan query_span(tb.StartTrace(), "query",
+                             obs::Category::kRequest,
+                             store != nullptr ? store->node().id() : -1);
+  if (store == nullptr) query_span.Instant("route_failed");
   const int client =
       tb.client_ids[rng.NextBelow(tb.client_ids.size())];
   const Bytes value = std::max<Bytes>(
@@ -110,9 +121,19 @@ sim::Process OneQuery(KvTestbed& tb, const KvExperimentConfig& config,
               static_cast<double>(config.store.value_size_stddev))));
   bool ok = store != nullptr;
   if (ok && rng.Bernoulli(config.get_fraction)) {
+    obs::CausalSpan op(query_span.handle(), "get", obs::Category::kRequest,
+                       store->node().id());
+    obs::ScopedResidency res(tb.energy, store->node().id(), op.handle(),
+                             "get");
     co_await store->Get(client, value);
   } else if (ok) {
-    co_await store->Put(client, value);
+    {
+      obs::CausalSpan op(query_span.handle(), "put",
+                         obs::Category::kRequest, store->node().id());
+      obs::ScopedResidency res(tb.energy, store->node().id(), op.handle(),
+                               "put");
+      co_await store->Put(client, value);
+    }
     // Chain replication to the next healthy successors.
     int upstream = store->node().id();
     int replicated = 1;
@@ -121,7 +142,13 @@ sim::Process OneQuery(KvTestbed& tb, const KvExperimentConfig& config,
       KvNode* replica =
           tb.stores[(position + i) % tb.stores.size()].get();
       if (replica->failed() || replica == store) continue;
-      co_await replica->ApplyReplicatedWrite(upstream, value);
+      {
+        obs::CausalSpan op(query_span.handle(), "replicate",
+                           obs::Category::kRequest, replica->node().id());
+        obs::ScopedResidency res(tb.energy, replica->node().id(),
+                                 op.handle(), "replicate");
+        co_await replica->ApplyReplicatedWrite(upstream, value);
+      }
       upstream = replica->node().id();
       ++replicated;
     }
@@ -158,11 +185,23 @@ KvReport KvExperiment::Measure(double target_qps, Duration measure) {
   Joules epoch = 0;
   tb.sched.ScheduleAt(window.start, [&] {
     epoch = tb.clstr.CumulativeJoules({"kv-store"});
+    // Window marks at the same instant the report's energy epoch is
+    // captured: the ledger's window subtotal equals `spent` below.
+    if (tb.tracer != nullptr) {
+      tb.tracer->InstantAt(tb.sched.now(), "measure_start",
+                           obs::Category::kApp, 0);
+    }
+    if (tb.energy != nullptr) tb.energy->BeginWindow();
   });
   Joules spent = 0;
   tb.sched.ScheduleAt(window.end, [&] {
     spent = tb.clstr.CumulativeJoules({"kv-store"}) - epoch;
     if (tb.metrics != nullptr) tb.metrics->Stop();
+    if (tb.tracer != nullptr) {
+      tb.tracer->InstantAt(tb.sched.now(), "measure_end",
+                           obs::Category::kApp, 0);
+    }
+    if (tb.energy != nullptr) tb.energy->EndWindow();
   });
 
   if (tb.metrics != nullptr) tb.metrics->Start(&tb.sched, Seconds(1));
@@ -210,11 +249,21 @@ KvReport KvExperiment::MeasureWithFailover(double target_qps,
   Joules epoch = 0;
   tb.sched.ScheduleAt(window.start, [&] {
     epoch = tb.clstr.CumulativeJoules({"kv-store"});
+    if (tb.tracer != nullptr) {
+      tb.tracer->InstantAt(tb.sched.now(), "measure_start",
+                           obs::Category::kApp, 0);
+    }
+    if (tb.energy != nullptr) tb.energy->BeginWindow();
   });
   Joules spent = 0;
   tb.sched.ScheduleAt(window.end, [&] {
     spent = tb.clstr.CumulativeJoules({"kv-store"}) - epoch;
     if (tb.metrics != nullptr) tb.metrics->Stop();
+    if (tb.tracer != nullptr) {
+      tb.tracer->InstantAt(tb.sched.now(), "measure_end",
+                           obs::Category::kApp, 0);
+    }
+    if (tb.energy != nullptr) tb.energy->EndWindow();
   });
 
   if (tb.metrics != nullptr) tb.metrics->Start(&tb.sched, Seconds(1));

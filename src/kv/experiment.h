@@ -13,6 +13,10 @@
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 
+namespace wimpy::obs {
+class EnergyAttributor;
+}  // namespace wimpy::obs
+
 namespace wimpy::kv {
 
 struct KvExperimentConfig {
@@ -34,6 +38,12 @@ struct KvExperimentConfig {
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
   int trace_sample_every = 64;
+  // Optional span-energy attribution over the store tier (obs/energy.h):
+  // sampled query trees carry joules-per-span, and the ledger's window
+  // subtotal equals the store-tier energy the report divides by for
+  // queries_per_joule (the golden test re-derives that quotient from the
+  // trace + ledger alone). Borrowed; may be null.
+  obs::EnergyAttributor* energy = nullptr;
 };
 
 struct KvReport {

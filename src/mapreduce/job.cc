@@ -163,8 +163,8 @@ sim::Process MapReduceJob::Driver() {
 sim::Process MapReduceJob::MapTask(Split split, int task_index) {
   sim::Scheduler& sched = fabric_->scheduler();
   const std::int32_t track = next_span_track_++;
-  obs::ScopedSpan task_span(tracer_, &sched, "map", obs::Category::kTask,
-                            track, task_index);
+  obs::CausalSpan task_span(trace_, track, "map", obs::Category::kTask,
+                            task_index);
   Container container =
       co_await yarn_->Allocate(spec_.map_container_mem,
                                split.preferred_nodes);
@@ -217,8 +217,8 @@ sim::Process MapReduceJob::MapTask(Split split, int task_index) {
   Bytes output = static_cast<Bytes>(spec_.map_output_ratio *
                                     static_cast<double>(split.bytes));
   if (output > 0) {
-    obs::ScopedSpan spill_span(tracer_, &sched, "spill",
-                               obs::Category::kTask, track, task_index);
+    obs::CausalSpan spill_span(task_span.handle(), "spill",
+                               obs::Category::kTask, task_index);
     if (spec_.has_combiner) {
       const double output_mb = static_cast<double>(output) / 1e6;
       co_await node->cpu().Execute(
@@ -285,8 +285,8 @@ sim::Process MapReduceJob::SpeculationMonitor() {
 sim::Process MapReduceJob::ReduceTask(int reduce_index) {
   sim::Scheduler& sched = fabric_->scheduler();
   const std::int32_t track = next_span_track_++;
-  obs::ScopedSpan task_span(tracer_, &sched, "reduce",
-                            obs::Category::kTask, track, reduce_index);
+  obs::CausalSpan task_span(trace_, track, "reduce", obs::Category::kTask,
+                            reduce_index);
   // Guard against the classic slow-start deadlock: reducers hold their
   // containers until every map output arrives, so if they occupied every
   // slot while maps were still pending the job would stall forever. Like
@@ -310,8 +310,8 @@ sim::Process MapReduceJob::ReduceTask(int reduce_index) {
   // this attempt's "reduce" span (same track).
   Bytes shuffled = 0;
   {
-    obs::ScopedSpan shuffle_span(tracer_, &sched, "shuffle",
-                                 obs::Category::kTask, track, reduce_index);
+    obs::CausalSpan shuffle_span(task_span.handle(), "shuffle",
+                                 obs::Category::kTask, reduce_index);
     for (int m = 0; m < total_maps_; ++m) {
       MapOutputPart part = co_await shuffle_[reduce_index]->Get();
       ++fetches_done_;
@@ -332,8 +332,8 @@ sim::Process MapReduceJob::ReduceTask(int reduce_index) {
   // Merge pass: buffered write+read of the shuffled data on local disk —
   // the reduce-side "spill" when the merge overflows the container.
   if (shuffled > spec_.reduce_container_mem) {
-    obs::ScopedSpan spill_span(tracer_, &sched, "spill",
-                               obs::Category::kTask, track, reduce_index);
+    obs::CausalSpan spill_span(task_span.handle(), "spill",
+                               obs::Category::kTask, reduce_index);
     co_await node->storage().Write(shuffled, /*buffered=*/true);
     co_await node->storage().Read(shuffled, /*buffered=*/true);
   } else if (shuffled > 0) {

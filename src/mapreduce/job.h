@@ -24,12 +24,9 @@
 #include "mapreduce/hdfs.h"
 #include "mapreduce/yarn.h"
 #include "net/fabric.h"
+#include "obs/context.h"
 #include "sim/process.h"
 #include "sim/wait_queue.h"
-
-namespace wimpy::obs {
-class Tracer;
-}  // namespace wimpy::obs
 
 namespace wimpy::mapreduce {
 
@@ -132,11 +129,14 @@ class MapReduceJob {
   // Duplicate map attempts launched by speculation (0 when disabled).
   int speculative_attempts() const { return speculative_launched_; }
 
-  // Optional span tracing (docs/observability.md): every map/reduce
-  // attempt emits one span on its own track (speculative duplicates get
-  // a distinct track, so spans never interleave within a track). Set
-  // before Start(); the tracer must outlive the job.
-  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  // Optional causal tracing (docs/observability.md): `trace` is the
+  // job's root span handle (normally the testbed's "job" span). Every
+  // map/reduce attempt becomes a child span on its own track
+  // (speculative duplicates get a distinct track, so spans never
+  // interleave within a track), which the exporter renders as Perfetto
+  // flow arrows job -> attempt. Set before Start(); a null handle
+  // disables tracing. The tracer must outlive the job.
+  void set_trace(const obs::TraceHandle& trace) { trace_ = trace; }
 
  private:
   struct Split {
@@ -165,7 +165,7 @@ class MapReduceJob {
   FrameworkCosts costs_;
   double efficiency_;
   Rng rng_;
-  obs::Tracer* tracer_ = nullptr;
+  obs::TraceHandle trace_;
   std::int32_t next_span_track_ = 1;
 
   int total_maps_ = 0;

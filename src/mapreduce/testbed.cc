@@ -91,7 +91,23 @@ void MrTestbed::LoadInput(const std::string& prefix, int files,
 MrRunResult MrTestbed::RunJob(const JobSpec& spec) {
   MapReduceJob job(&fabric_, hdfs_.get(), yarn_.get(), spec, config_.costs,
                    config_.slave_profile.name, job_seed_++);
-  job.set_tracer(config_.tracer);
+
+  // Root of the job's causal trace tree: a span on track 0 named after
+  // the job itself (dynamic name, interned for tracer lifetime); task
+  // attempts become cross-track children, so Perfetto draws flow arrows
+  // job -> attempt.
+  obs::TraceHandle job_trace;
+  std::unique_ptr<obs::CausalSpan> job_span;
+  if (config_.tracer != nullptr) {
+    job_trace.tracer = config_.tracer;
+    job_trace.sched = &sched_;
+    job_trace.track = 0;
+    job_trace.ctx.trace_id = config_.tracer->NewTraceId();
+    job_span = std::make_unique<obs::CausalSpan>(
+        job_trace, config_.tracer->Intern(spec.name), obs::Category::kApp);
+  }
+  job.set_trace(job_span != nullptr ? job_span->handle()
+                                    : obs::TraceHandle{});
 
   cluster::MetricsSampler sampler(&cluster_, {"mr-slave"}, Seconds(1));
   sampler.SetProgressProbe([&job] {
@@ -102,11 +118,6 @@ MrRunResult MrTestbed::RunJob(const JobSpec& spec) {
   sampler.Start();
   if (config_.metrics != nullptr) {
     config_.metrics->Start(&sched_, Seconds(1));
-  }
-  std::unique_ptr<obs::ScopedSpan> job_span;
-  if (config_.tracer != nullptr) {
-    job_span = std::make_unique<obs::ScopedSpan>(
-        config_.tracer, &sched_, "job", obs::Category::kApp, /*track=*/0);
   }
   sim::ProcessRef ref = job.Start();
 

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace wimpy::net {
 
@@ -120,6 +121,13 @@ sim::Task<void> Fabric::Transfer(int src_id, int dst_id, Bytes bytes) {
     refs.push_back(sim::Spawn(*sched_, ServeOne(segment, demand)));
   }
   for (auto& ref : refs) co_await ref.Join();
+}
+
+sim::Task<void> Fabric::Transfer(int src_id, int dst_id, Bytes bytes,
+                                 const obs::TraceHandle& trace,
+                                 const char* name) {
+  obs::CausalSpan span(trace, name, obs::Category::kNet, bytes);
+  co_await Transfer(src_id, dst_id, bytes);
 }
 
 sim::Task<void> Fabric::RoundTrip(int src_id, int dst_id) {

@@ -21,6 +21,7 @@
 
 #include "common/status.h"
 #include "hw/server_node.h"
+#include "obs/context.h"
 #include "sim/fair_share.h"
 #include "sim/process.h"
 #include "sim/task.h"
@@ -60,6 +61,12 @@ class Fabric {
   // Moves `bytes` from src to dst; completes when the last byte arrives.
   // Loopback transfers only pay a negligible fixed cost.
   sim::Task<void> Transfer(int src_id, int dst_id, Bytes bytes);
+
+  // Traced transfer: same semantics, wrapped in a causal child span
+  // named `name` (category kNet, arg = bytes) under `trace` — the
+  // message "carries the context header". Null handle = plain Transfer.
+  sim::Task<void> Transfer(int src_id, int dst_id, Bytes bytes,
+                           const obs::TraceHandle& trace, const char* name);
 
   // Small control message pair (SYN/ACK, ping): pays RTT, no bandwidth.
   sim::Task<void> RoundTrip(int src_id, int dst_id);

@@ -1,6 +1,7 @@
 #include "net/tcp.h"
 
 #include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sim/batch_timer.h"
 
 namespace wimpy::net {
@@ -74,10 +75,12 @@ TcpConnection::TcpConnection(TcpHost* client, TcpHost* server)
 
 TcpConnection::~TcpConnection() { Close(); }
 
-sim::Task<ConnectResult> TcpConnection::Connect(bool hold_backlog) {
+sim::Task<ConnectResult> TcpConnection::Connect(
+    bool hold_backlog, const obs::TraceHandle& trace) {
   ConnectResult result;
   sim::Scheduler& sched = client_->fabric().scheduler();
   const SimTime started = sched.now();
+  obs::CausalSpan span(trace, "connect", obs::Category::kNet);
 
   if (!client_->TryAllocatePort()) {
     result.status = Status::ResourceExhausted("client ephemeral ports");
@@ -110,6 +113,7 @@ sim::Task<ConnectResult> TcpConnection::Connect(bool hold_backlog) {
 
     // SYN dropped silently; the client retransmits after the backoff.
     server_->CountSynDrop();
+    span.Instant("syn_retry", attempt);
     if (attempt >= client_->config().syn_max_retries) {
       result.status = Status::Unavailable("connection timed out");
       result.connect_delay = sched.now() - started;

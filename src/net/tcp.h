@@ -15,6 +15,7 @@
 
 #include "common/status.h"
 #include "net/fabric.h"
+#include "obs/context.h"
 #include "sim/semaphore.h"
 #include "sim/task.h"
 
@@ -125,7 +126,13 @@ class TcpConnection {
   // drains at the server's accept rate rather than at wire speed. Server
   // models (web::WebServer::AcceptWork) use this; simple peers leave the
   // default.
-  sim::Task<ConnectResult> Connect(bool hold_backlog = false);
+  //
+  // With a non-null `trace`, the handshake is recorded as a causal
+  // "connect" span under it (category kNet), with one "syn_retry"
+  // instant per retransmitted SYN — how the 1 s / 2 s / 4 s backoff
+  // spikes show up on a request's critical path.
+  sim::Task<ConnectResult> Connect(bool hold_backlog = false,
+                                   const obs::TraceHandle& trace = {});
 
   // Request/response exchange on an established connection: sends
   // `request_bytes` upstream, then `response_bytes` downstream.

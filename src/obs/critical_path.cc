@@ -1,0 +1,202 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace wimpy::obs {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+// Same rendering contract as obs/export.cc: pure function of the value.
+std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+// Backward walk over [span.begin, min(until, span.end)], appending
+// segments in reverse time order (CriticalPath reverses once at the end).
+void Walk(const TraceTree& tree, std::size_t si, SimTime until,
+          std::vector<PathSegment>& out) {
+  const SpanRecord& s = tree.spans[si];
+  SimTime t = std::min(until, s.end);
+  while (t > s.begin) {
+    // The bottleneck child at time t: latest effective end, ties broken
+    // toward the later begin then the larger span_id so overlapping
+    // children resolve deterministically.
+    std::size_t best = kNone;
+    SimTime best_ce = 0;
+    for (std::size_t ci : s.children) {
+      const SpanRecord& c = tree.spans[ci];
+      if (c.begin >= t) continue;
+      const SimTime ce = std::min(c.end, t);
+      if (ce <= s.begin) continue;
+      const SpanRecord* b = best == kNone ? nullptr : &tree.spans[best];
+      if (b == nullptr || ce > best_ce ||
+          (ce == best_ce &&
+           (c.begin > b->begin ||
+            (c.begin == b->begin && c.span_id > b->span_id)))) {
+        best = ci;
+        best_ce = ce;
+      }
+    }
+    if (best == kNone) {
+      out.push_back(PathSegment{si, s.begin, t});
+      return;
+    }
+    if (best_ce < t) out.push_back(PathSegment{si, best_ce, t});
+    Walk(tree, best, best_ce, out);
+    t = std::max(tree.spans[best].begin, s.begin);
+  }
+}
+
+}  // namespace
+
+std::vector<TraceTree> BuildTraceTrees(const TraceLog& log) {
+  SimTime horizon = 0;
+  for (const TraceEvent& e : log.events) horizon = std::max(horizon, e.time);
+
+  // trace_id -> tree under construction; span_id -> (trace_id, index).
+  std::map<std::uint64_t, TraceTree> trees;
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::size_t>> by_span;
+  for (const TraceEvent& e : log.events) {
+    if (e.trace_id == 0) continue;
+    TraceTree& tree = trees[e.trace_id];
+    tree.trace_id = e.trace_id;
+    if (e.phase == 'B') {
+      by_span[e.span_id] = {e.trace_id, tree.spans.size()};
+      tree.spans.push_back(SpanRecord{e.span_id, e.parent_id, e.name, e.time,
+                                      e.time, e.arg, false, {}});
+    } else if (e.phase == 'E') {
+      auto it = by_span.find(e.span_id);
+      if (it != by_span.end() && it->second.first == e.trace_id) {
+        SpanRecord& s = trees[e.trace_id].spans[it->second.second];
+        s.end = e.time;
+        s.complete = true;
+      }
+    } else {
+      tree.instants.push_back(InstantRecord{e.time, e.name, e.arg,
+                                            e.parent_id});
+    }
+  }
+
+  std::vector<TraceTree> out;
+  out.reserve(trees.size());
+  for (auto& [id, tree] : trees) {
+    for (SpanRecord& s : tree.spans) {
+      if (!s.complete) {
+        s.end = horizon;
+        tree.complete = false;
+      }
+    }
+    std::sort(tree.spans.begin(), tree.spans.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                return a.begin != b.begin ? a.begin < b.begin
+                                          : a.span_id < b.span_id;
+              });
+    std::map<std::uint64_t, std::size_t> index;
+    for (std::size_t i = 0; i < tree.spans.size(); ++i) {
+      index[tree.spans[i].span_id] = i;
+    }
+    bool have_root = false;
+    for (std::size_t i = 0; i < tree.spans.size(); ++i) {
+      SpanRecord& s = tree.spans[i];
+      auto parent = index.find(s.parent_id);
+      if (s.parent_id != 0 && parent != index.end()) {
+        tree.spans[parent->second].children.push_back(i);
+      } else if (!have_root) {
+        // Earliest parentless span (parent 0, or parent outside the log
+        // — an unsampled enclosing span) anchors the tree.
+        tree.root = i;
+        have_root = true;
+      }
+    }
+    out.push_back(std::move(tree));
+  }
+  return out;
+}
+
+std::vector<PathSegment> CriticalPath(const TraceTree& tree) {
+  std::vector<PathSegment> out;
+  if (tree.spans.empty()) return out;
+  Walk(tree, tree.root, tree.spans[tree.root].end, out);
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::map<std::string_view, Duration> DecomposeCriticalPath(
+    const TraceTree& tree) {
+  std::map<std::string_view, Duration> by_name;
+  for (const PathSegment& seg : CriticalPath(tree)) {
+    by_name[tree.spans[seg.span].name] += seg.end - seg.begin;
+  }
+  return by_name;
+}
+
+std::vector<TraceSummaryRow> SummarizeTraces(
+    const std::vector<TraceLog>& logs,
+    const std::vector<EnergyLedger>& ledgers) {
+  std::vector<TraceSummaryRow> rows;
+  for (std::size_t series = 0; series < logs.size(); ++series) {
+    std::map<std::uint64_t, Joules> joules_by_trace;
+    if (series < ledgers.size()) {
+      for (const SpanEnergyRow& row : ledgers[series].rows) {
+        joules_by_trace[row.trace_id] += row.joules;
+      }
+    }
+    for (const TraceTree& tree : BuildTraceTrees(logs[series])) {
+      if (tree.spans.empty()) continue;
+      const SpanRecord& root = tree.spans[tree.root];
+      auto j = joules_by_trace.find(tree.trace_id);
+      rows.push_back(TraceSummaryRow{
+          static_cast<int>(series), tree.trace_id, root.name, root.begin,
+          root.end - root.begin, tree.spans.size(), tree.complete,
+          j == joules_by_trace.end() ? 0 : j->second});
+    }
+  }
+  return rows;
+}
+
+std::string RenderTraceSummaryCsv(const std::vector<TraceLog>& logs,
+                                  const std::vector<EnergyLedger>& ledgers) {
+  std::string out = "series,trace_id,root,begin_s,latency_s,spans,complete,joules\n";
+  for (const TraceSummaryRow& r : SummarizeTraces(logs, ledgers)) {
+    out += std::to_string(r.series);
+    out += ',';
+    out += std::to_string(r.trace_id);
+    out += ',';
+    out += r.root_name;
+    out += ',';
+    out += Num(r.begin);
+    out += ',';
+    out += Num(r.latency);
+    out += ',';
+    out += std::to_string(r.span_count);
+    out += ',';
+    out += r.complete ? '1' : '0';
+    out += ',';
+    out += Num(r.joules);
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteTraceSummaryCsv(const std::vector<TraceLog>& logs,
+                            const std::vector<EnergyLedger>& ledgers,
+                            const std::string& path) {
+  const std::string doc = RenderTraceSummaryCsv(logs, ledgers);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open for writing: " + path);
+  }
+  const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  if (written != doc.size()) {
+    return Status::Unavailable("short write to: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace wimpy::obs

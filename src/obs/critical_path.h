@@ -1,0 +1,122 @@
+// Causal-trace reconstruction and critical-path/joule analysis.
+//
+// Input is the flat `TraceLog` a `Tracer` records: span begin/end pairs
+// keyed by causal span ids (obs/context.h), plus causal instants. This
+// module rebuilds the per-request span trees and answers the two
+// questions the paper's tables reduce to — where did the latency go
+// (critical-path decomposition, Table 7's db/cache/total delay split)
+// and what did it cost (joules per request, FAWN-style queries/joule) —
+// from the export alone, without access to the live testbed. The Python
+// twin (tools/trace_analyze.py) implements the same algorithm over the
+// JSON export; the golden test pins them against each other.
+//
+// All outputs are deterministic functions of the log: spans sort by
+// (begin, span_id), ties in the backward walk break toward the later
+// begin then the larger span_id.
+#ifndef WIMPY_OBS_CRITICAL_PATH_H_
+#define WIMPY_OBS_CRITICAL_PATH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "obs/energy.h"
+#include "obs/tracer.h"
+
+namespace wimpy::obs {
+
+// One reconstructed span. `complete` is false when the log held a begin
+// with no matching end (the run's horizon cut it); its `end` is then the
+// log's maximum timestamp.
+struct SpanRecord {
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+  const char* name = "";
+  SimTime begin = 0;
+  SimTime end = 0;
+  std::int64_t arg = 0;
+  bool complete = true;
+  std::vector<std::size_t> children;  // indices into TraceTree::spans
+};
+
+// A causal instant attached to a trace (parent_id = enclosing span).
+struct InstantRecord {
+  SimTime time = 0;
+  const char* name = "";
+  std::int64_t arg = 0;
+  std::uint64_t parent_id = 0;
+};
+
+// One request/job tree: all spans sharing a trace_id. `root` indexes the
+// earliest parentless span (parent_id 0 or absent from the log).
+struct TraceTree {
+  std::uint64_t trace_id = 0;
+  std::size_t root = 0;
+  bool complete = true;  // every span in the tree has a matching end
+  std::vector<SpanRecord> spans;
+  std::vector<InstantRecord> instants;
+};
+
+// Rebuilds the span trees of one log. Trees come back ordered by
+// trace_id; spans within a tree by (begin, span_id). Non-causal events
+// (trace_id 0, e.g. the engine hook stream) are ignored.
+std::vector<TraceTree> BuildTraceTrees(const TraceLog& log);
+
+// A maximal constant-attribution stretch of the critical path: during
+// [begin, end) the tree's latency was waiting on `spans[span]`
+// exclusively (none of its children were the bottleneck).
+struct PathSegment {
+  std::size_t span = 0;
+  SimTime begin = 0;
+  SimTime end = 0;
+};
+
+// Backward walk from the root's end to its begin. At each point the path
+// descends into the child whose effective end (min(child end, current
+// time)) is largest; gaps with no child running are the parent's own
+// self time. Segments come back in forward time order and exactly tile
+// [root.begin, root.end].
+std::vector<PathSegment> CriticalPath(const TraceTree& tree);
+
+// Sums critical-path self time by span name — the per-request latency
+// decomposition ("serve" self vs "db" vs "cache" vs transfer spans).
+std::map<std::string_view, Duration> DecomposeCriticalPath(
+    const TraceTree& tree);
+
+// Per-trace roll-up row for the --trace-summary CSV.
+struct TraceSummaryRow {
+  int series = 0;  // replication index, mirrors the trace export pid
+  std::uint64_t trace_id = 0;
+  const char* root_name = "";
+  SimTime begin = 0;
+  Duration latency = 0;
+  std::size_t span_count = 0;
+  bool complete = true;
+  Joules joules = 0;  // attributed energy summed over the tree's spans
+};
+
+// One row per trace per log, logs in index order ([config][replication]
+// flattening upstream), traces by trace_id. `ledgers` pairs with `logs`
+// by index; pass an empty vector when energy attribution was off (the
+// joules column is then 0).
+std::vector<TraceSummaryRow> SummarizeTraces(
+    const std::vector<TraceLog>& logs,
+    const std::vector<EnergyLedger>& ledgers);
+
+// CSV with header
+//   series,trace_id,root,begin_s,latency_s,spans,complete,joules
+// Numbers render with the same %.9g contract as the trace/metrics
+// exporters, so the file is byte-identical across --threads.
+std::string RenderTraceSummaryCsv(const std::vector<TraceLog>& logs,
+                                  const std::vector<EnergyLedger>& ledgers);
+Status WriteTraceSummaryCsv(const std::vector<TraceLog>& logs,
+                            const std::vector<EnergyLedger>& ledgers,
+                            const std::string& path);
+
+}  // namespace wimpy::obs
+
+#endif  // WIMPY_OBS_CRITICAL_PATH_H_

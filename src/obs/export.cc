@@ -40,24 +40,99 @@ Status WriteString(const std::string& doc, const std::string& path) {
 
 }  // namespace
 
+namespace {
+
+// Shared prefix of every rendered event: name/cat/ph + optional instant
+// scope, then ts/pid/tid.
+std::string EventHead(const char* name, Category category, char phase,
+                      SimTime time, std::size_t pid, std::int32_t tid) {
+  std::string out = "{\"name\":\"" + JsonEscape(name) + "\",\"cat\":\"";
+  out += CategoryName(category);
+  out += "\",\"ph\":\"";
+  out += phase;
+  out += '"';
+  if (phase == 'i') out += ",\"s\":\"t\"";
+  out += ",\"ts\":" + Num(time * 1e6);
+  out += ",\"pid\":" + std::to_string(pid);
+  out += ",\"tid\":" + std::to_string(tid);
+  return out;
+}
+
+// Causal identity args, rendered only when present so non-causal events
+// (the engine hook stream) keep their compact form.
+std::string CausalArgs(const TraceEvent& e) {
+  std::string out;
+  if (e.trace_id != 0) out += ",\"trace\":" + std::to_string(e.trace_id);
+  if (e.span_id != 0) out += ",\"span\":" + std::to_string(e.span_id);
+  if (e.parent_id != 0) out += ",\"parent\":" + std::to_string(e.parent_id);
+  return out;
+}
+
+// Stable cross-process-unique flow id: pid + child span id.
+std::string FlowId(std::size_t pid, std::uint64_t span_id) {
+  return "\"p" + std::to_string(pid) + ".s" + std::to_string(span_id) + "\"";
+}
+
+}  // namespace
+
 std::string RenderChromeTrace(const std::vector<TraceLog>& logs) {
   std::string out = "{\"traceEvents\":[\n";
   bool first = true;
+  const auto emit = [&out, &first](const std::string& obj) {
+    if (!first) out += ",\n";
+    first = false;
+    out += obj;
+  };
   for (std::size_t pid = 0; pid < logs.size(); ++pid) {
-    for (const TraceEvent& e : logs[pid].events) {
-      if (!first) out += ",\n";
-      first = false;
-      out += "{\"name\":\"" + JsonEscape(e.name) + "\",\"cat\":\"";
-      out += CategoryName(e.category);
-      out += "\",\"ph\":\"";
-      out += e.phase;
-      out += '"';
-      if (e.phase == 'i') out += ",\"s\":\"t\"";
-      out += ",\"ts\":" + Num(e.time * 1e6);
-      out += ",\"pid\":" + std::to_string(pid);
-      out += ",\"tid\":" + std::to_string(e.track);
-      out += ",\"args\":{\"seq\":" + std::to_string(e.seq);
-      out += ",\"arg\":" + std::to_string(e.arg) + "}}";
+    const TraceLog& log = logs[pid];
+    SimTime horizon = 0;
+    for (const TraceEvent& e : log.events) {
+      if (e.time > horizon) horizon = e.time;
+    }
+    // Track of each causally-open span, for flow-arrow endpoints; LIFO
+    // stacks of open B events per tid, for closed-at-horizon synthesis.
+    std::map<std::uint64_t, std::int32_t> open_track;
+    std::map<std::int32_t, std::vector<const TraceEvent*>> open_stack;
+    for (const TraceEvent& e : log.events) {
+      if (e.phase == 'B' && e.span_id != 0 && e.parent_id != 0) {
+        const auto parent = open_track.find(e.parent_id);
+        if (parent != open_track.end() && parent->second != e.track) {
+          // Cross-track causal edge: Perfetto flow arrow from the
+          // parent's track to the child's, both at the child's begin
+          // time (the log is time-ordered, so per-tid ts stays
+          // non-decreasing). `bp:"e"` binds the arrival to the
+          // enclosing slice.
+          const std::string id = FlowId(pid, e.span_id);
+          emit(EventHead(e.name, e.category, 's', e.time, pid,
+                         parent->second) +
+               ",\"id\":" + id + ",\"args\":{}}");
+          emit(EventHead(e.name, e.category, 'f', e.time, pid, e.track) +
+               ",\"bp\":\"e\",\"id\":" + id + ",\"args\":{}}");
+        }
+      }
+      emit(EventHead(e.name, e.category, e.phase, e.time, pid, e.track) +
+           ",\"args\":{\"seq\":" + std::to_string(e.seq) +
+           ",\"arg\":" + std::to_string(e.arg) + CausalArgs(e) + "}}");
+      if (e.phase == 'B') {
+        if (e.span_id != 0) open_track[e.span_id] = e.track;
+        open_stack[e.track].push_back(&e);
+      } else if (e.phase == 'E') {
+        if (e.span_id != 0) open_track.erase(e.span_id);
+        auto& stack = open_stack[e.track];
+        if (!stack.empty()) stack.pop_back();
+      }
+    }
+    // Spans still open when the run's horizon cut them: close them at
+    // the log's last timestamp (innermost first, so B/E stay properly
+    // nested per tid) and flag them for tools/consumers.
+    for (auto& [tid, stack] : open_stack) {
+      for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+        const TraceEvent& b = **it;
+        emit(EventHead(b.name, b.category, 'E', horizon, pid, tid) +
+             ",\"args\":{\"seq\":" + std::to_string(b.seq) +
+             ",\"arg\":" + std::to_string(b.arg) + CausalArgs(b) +
+             ",\"closed_at_horizon\":1}}");
+      }
     }
   }
   out += "\n]}\n";

@@ -20,6 +20,14 @@ const char* CategoryName(Category category) {
 
 Tracer::~Tracer() { DetachEngineHook(); }
 
+const char* Tracer::Intern(std::string_view name) {
+  auto it = interned_->find(name);
+  if (it == interned_->end()) {
+    it = interned_->emplace(name).first;
+  }
+  return it->c_str();
+}
+
 void Tracer::AttachEngineHook(sim::Scheduler* sched) {
   DetachEngineHook();
   hooked_ = sched;
@@ -54,6 +62,7 @@ void Tracer::Clear() {
 TraceLog Tracer::TakeLog() {
   TraceLog log;
   log.events = std::move(events_);
+  log.interned = interned_;  // keepalive for Intern'd name pointers
   events_.clear();
   open_spans_.clear();
   return log;

@@ -5,11 +5,15 @@
 // engine-level per-event hooks (time, sequence number) wired into
 // `sim::Scheduler`, and explicit application-level instants and
 // begin/end spans emitted by instrumented components (web requests,
-// MapReduce tasks, network timeouts). The stream is a pure function of
-// the simulation — no wall-clock, no pointers, no thread identity — so a
-// trace taken at any `--threads` count is byte-identical for the same
-// seed once per-replication tracers are merged in index order (the same
-// contract as `sim::RunSweep` results).
+// MapReduce tasks, network timeouts). Spans can additionally carry a
+// causal identity (`TraceContext`: trace/span/parent ids) so a sampled
+// request forms a cross-node span tree that the critical-path analyzer
+// (obs/critical_path.h, tools/trace_analyze.py) can reconstruct from the
+// export alone. The stream is a pure function of the simulation — no
+// wall-clock, no pointers, no thread identity — so a trace taken at any
+// `--threads` count is byte-identical for the same seed once
+// per-replication tracers are merged in index order (the same contract
+// as `sim::RunSweep` results).
 //
 // Overhead contract:
 //  * Call sites hold a `Tracer*` that is null by default; an
@@ -25,9 +29,14 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/units.h"
+#include "obs/context.h"
 #include "sim/scheduler.h"
 
 namespace wimpy::obs {
@@ -42,9 +51,10 @@ enum class Category : std::uint8_t {
 };
 const char* CategoryName(Category category);
 
-// One trace record. `name` must point at a string with static lifetime
-// (call sites use literals); events are plain values so logs can be moved
-// across threads and merged.
+// One trace record. `name` must point at a string with static lifetime —
+// either a literal or a string interned through `Tracer::Intern` (which
+// outlives every log taken from that tracer); events are plain values so
+// logs can be moved across threads and merged.
 struct TraceEvent {
   SimTime time = 0;
   // Engine sequence number for kEngine hook events; a tracer-local
@@ -56,11 +66,21 @@ struct TraceEvent {
   std::int32_t track = 0;  // Chrome trace `tid`: one logical timeline
   Category category = Category::kApp;
   char phase = 'i';  // 'i' instant, 'B' span begin, 'E' span end
+  // Causal identity (0 = none). Span begins/ends carry all three;
+  // causal instants carry trace_id + parent_id (the enclosing span).
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
 };
 
 // A detached, mergeable trace: what a replication returns from a sweep.
+// `interned` shares ownership of the originating tracer's intern arena,
+// so `name` pointers produced by `Tracer::Intern` stay valid even after
+// the per-replication tracer is destroyed (the sweep idiom: tracers die
+// at replication end, logs are exported from main afterwards).
 struct TraceLog {
   std::vector<TraceEvent> events;
+  std::shared_ptr<const std::set<std::string, std::less<>>> interned;
 };
 
 class Tracer {
@@ -74,26 +94,61 @@ class Tracer {
   bool enabled() const { return enabled_; }
   void set_enabled(bool enabled) { enabled_ = enabled; }
 
+  // --- causal identity --------------------------------------------------
+  // Fresh ids for a new request/job tree or a new span within one.
+  // Tracer-local counters: deterministic, never reused, never 0.
+  std::uint64_t NewTraceId() { return next_trace_id_++; }
+  std::uint64_t NewSpanId() { return next_span_id_++; }
+
+  // Interns a dynamic span name (e.g. a per-node label or a job name)
+  // and returns a pointer suitable for `TraceEvent::name`, valid as long
+  // as the tracer or any log taken from it lives (TakeLog gives each
+  // detached log shared ownership of the arena). Deduplicated: interning
+  // the same text twice returns the same pointer. Never cleared.
+  const char* Intern(std::string_view name);
+
   // --- explicit-time records -------------------------------------------
   // The *At forms take the timestamp explicitly so non-engine clocks
   // (e.g. the reference scheduler in tests) can share one tracer.
   void InstantAt(SimTime t, const char* name, Category category,
                  std::int32_t track, std::int64_t arg = 0) {
     if (!enabled_) return;
-    Record(t, name, category, track, arg, 'i');
+    Record(t, name, category, track, arg, 'i', TraceContext{});
+  }
+  // Causal instant: belongs to `ctx.trace_id`, nested under
+  // `ctx.parent_id` (callers pass the enclosing span's id there).
+  void InstantAt(SimTime t, const char* name, Category category,
+                 std::int32_t track, const TraceContext& ctx,
+                 std::int64_t arg = 0) {
+    if (!enabled_) return;
+    Record(t, name, category, track, arg, 'i', ctx);
   }
   void BeginSpanAt(SimTime t, const char* name, Category category,
                    std::int32_t track, std::int64_t arg = 0) {
+    BeginSpanAt(t, name, category, track, TraceContext{}, arg);
+  }
+  void BeginSpanAt(SimTime t, const char* name, Category category,
+                   std::int32_t track, const TraceContext& ctx,
+                   std::int64_t arg = 0) {
     if (!enabled_) return;
     ++open_spans_[track];
-    Record(t, name, category, track, arg, 'B');
+    Record(t, name, category, track, arg, 'B', ctx);
   }
   void EndSpanAt(SimTime t, const char* name, Category category,
                  std::int32_t track, std::int64_t arg = 0) {
+    EndSpanAt(t, name, category, track, TraceContext{}, arg);
+  }
+  void EndSpanAt(SimTime t, const char* name, Category category,
+                 std::int32_t track, const TraceContext& ctx,
+                 std::int64_t arg = 0) {
     if (!enabled_) return;
     auto it = open_spans_.find(track);
-    if (it != open_spans_.end() && it->second > 0) --it->second;
-    Record(t, name, category, track, arg, 'E');
+    if (it != open_spans_.end() && --it->second <= 0) {
+      // Erase balanced tracks so long runs with millions of sampled
+      // request timelines don't grow the map without bound.
+      open_spans_.erase(it);
+    }
+    Record(t, name, category, track, arg, 'E', ctx);
   }
 
   // --- engine hook ------------------------------------------------------
@@ -109,6 +164,10 @@ class Tracer {
   // Currently-open span depth on a track (0 when balanced). Tests use
   // this to pin span nesting.
   int open_spans(std::int32_t track) const;
+  // Number of tracks with at least one open span — the unbalanced-span
+  // check: 0 after a fully drained run (tracks balance back to zero and
+  // are erased).
+  std::size_t open_tracks() const { return open_spans_.size(); }
   std::size_t size() const { return events_.size(); }
   void Clear();
 
@@ -120,16 +179,25 @@ class Tracer {
   static void EngineTrampoline(void* ctx, SimTime t, std::uint64_t seq);
 
   void Record(SimTime t, const char* name, Category category,
-              std::int32_t track, std::int64_t arg, char phase) {
-    events_.push_back(
-        TraceEvent{t, next_seq_++, name, arg, track, category, phase});
+              std::int32_t track, std::int64_t arg, char phase,
+              const TraceContext& ctx) {
+    events_.push_back(TraceEvent{t, next_seq_++, name, arg, track, category,
+                                 phase, ctx.trace_id, ctx.span_id,
+                                 ctx.parent_id});
   }
 
   bool enabled_;
   std::uint64_t next_seq_ = 1;
+  std::uint64_t next_trace_id_ = 1;
+  std::uint64_t next_span_id_ = 1;
   sim::Scheduler* hooked_ = nullptr;
   std::vector<TraceEvent> events_;
   std::map<std::int32_t, int> open_spans_;
+  // Node-stable storage: set elements never move, so the returned
+  // c_str() pointers stay valid for the arena's lifetime. Shared so
+  // TakeLog can hand each detached log a keepalive reference.
+  std::shared_ptr<std::set<std::string, std::less<>>> interned_ =
+      std::make_shared<std::set<std::string, std::less<>>>();
 };
 
 // RAII span: begins on construction, ends (at the scheduler's then-current
@@ -161,6 +229,60 @@ class ScopedSpan {
   const char* name_ = "";
   Category category_ = Category::kApp;
   std::int32_t track_ = 0;
+  std::int64_t arg_ = 0;
+};
+
+// RAII *causal* span: allocates a span id under `parent`'s context,
+// begins on construction, ends on destruction. `handle()` is the context
+// to propagate into callees (its `ctx.span_id` is this span, so children
+// constructed from it nest correctly). With a null-tracer parent the
+// whole object is a no-op and `handle()` stays null — one branch per
+// layer, zero allocations.
+class CausalSpan {
+ public:
+  CausalSpan() = default;
+  // Inherits the parent's track (the common nested-span case).
+  CausalSpan(const TraceHandle& parent, const char* name, Category category,
+             std::int64_t arg = 0)
+      : CausalSpan(parent, parent.track, name, category, arg) {}
+  // Explicit track: cross-node children that get their own timeline
+  // (e.g. MapReduce task attempts under the job span). The exporter
+  // renders a Perfetto flow arrow when parent and child tracks differ.
+  CausalSpan(const TraceHandle& parent, std::int32_t track,
+             const char* name, Category category, std::int64_t arg = 0)
+      : h_(parent), name_(name), category_(category), arg_(arg) {
+    if (h_.tracer == nullptr) return;
+    h_.track = track;
+    h_.ctx.parent_id = parent.ctx.span_id;
+    h_.ctx.span_id = h_.tracer->NewSpanId();
+    h_.tracer->BeginSpanAt(h_.sched->now(), name_, category_, h_.track,
+                           h_.ctx, arg_);
+  }
+  ~CausalSpan() {
+    if (h_.tracer != nullptr) {
+      h_.tracer->EndSpanAt(h_.sched->now(), name_, category_, h_.track,
+                           h_.ctx, arg_);
+    }
+  }
+
+  CausalSpan(const CausalSpan&) = delete;
+  CausalSpan& operator=(const CausalSpan&) = delete;
+
+  // Context for callees: ctx.span_id is this span.
+  const TraceHandle& handle() const { return h_; }
+
+  // Point event inside this span (e.g. "http_500", "syn_retry").
+  void Instant(const char* name, std::int64_t arg = 0) {
+    if (h_.tracer == nullptr) return;
+    h_.tracer->InstantAt(
+        h_.sched->now(), name, category_, h_.track,
+        TraceContext{h_.ctx.trace_id, 0, h_.ctx.span_id}, arg);
+  }
+
+ private:
+  TraceHandle h_;
+  const char* name_ = "";
+  Category category_ = Category::kApp;
   std::int64_t arg_ = 0;
 };
 

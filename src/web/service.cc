@@ -7,6 +7,7 @@
 #include "cluster/cluster.h"
 #include "cluster/metrics.h"
 #include "hw/profiles.h"
+#include "obs/energy.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "sim/process.h"
@@ -119,8 +120,19 @@ struct Testbed {
 
     tracer = config.tracer;
     metrics = config.metrics;
+    energy = config.energy;
     trace_sample_every = std::max(1, config.trace_sample_every);
     if (metrics != nullptr) PublishProbes();
+    if (energy != nullptr) {
+      // Observation order (web, cache, db) fixes ledger row order for a
+      // given simulation, keeping exports deterministic.
+      for (auto& web : webs) {
+        web->node().ObserveEnergy(energy);
+        web->set_energy(energy);
+      }
+      for (auto& cache : caches) cache->node().ObserveEnergy(energy);
+      for (auto& db : dbs) db->node().ObserveEnergy(energy);
+    }
   }
 
   // Probe registration order is fixed (web tier, cache tier, dbs, links,
@@ -191,18 +203,24 @@ struct Testbed {
     return s;
   }
 
-  // 1-in-N connection trace sampling. Returns the tracer (and the
-  // connection's trace track via `track`) for sampled connections, null
-  // otherwise. The counter is part of the testbed, not the random
-  // streams, so tracing on/off never changes simulated behaviour.
-  obs::Tracer* TraceFor(std::int32_t* track) {
+  // 1-in-N connection trace sampling. A sampled connection gets a root
+  // trace handle — fresh trace id, its own track — that the connection
+  // process threads through the whole serving path; unsampled
+  // connections get a null handle and every downstream tracing call
+  // no-ops. The counter is part of the testbed, not the random streams,
+  // so tracing on/off never changes simulated behaviour.
+  obs::TraceHandle StartTrace() {
     const std::uint64_t conn = conn_counter_++;
     if (tracer == nullptr ||
         conn % static_cast<std::uint64_t>(trace_sample_every) != 0) {
-      return nullptr;
+      return {};
     }
-    *track = static_cast<std::int32_t>(conn & 0x7fffffff);
-    return tracer;
+    obs::TraceHandle handle;
+    handle.tracer = tracer;
+    handle.sched = &sched;
+    handle.track = static_cast<std::int32_t>(conn & 0x7fffffff);
+    handle.ctx.trace_id = tracer->NewTraceId();
+    return handle;
   }
 
   WebServer* NextWeb() {
@@ -231,6 +249,7 @@ struct Testbed {
   std::vector<std::unique_ptr<net::TcpHost>> client_hosts;
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  obs::EnergyAttributor* energy = nullptr;
   int trace_sample_every = 64;
   std::uint64_t conn_counter_ = 0;
   std::size_t next_web_ = 0;
@@ -277,21 +296,16 @@ sim::Process ClosedLoopConnection(Testbed& tb, Windows windows,
                                   Rng rng) {
   const SimTime end = WindowsEnd(windows);
   const SimTime conn_start = tb.sched.now();
-  std::int32_t track = 0;
-  obs::Tracer* tr = tb.TraceFor(&track);
-  obs::ScopedSpan conn_span(tr, &tb.sched, "conn", obs::Category::kRequest,
-                            track);
+  // Root span of the connection's trace tree; null for unsampled
+  // connections. The handle rides every downstream call — the simulated
+  // context header.
+  obs::CausalSpan conn_span(tb.StartTrace(), "conn",
+                            obs::Category::kRequest);
   net::TcpConnection conn(client, &web->tcp_host());
-  const net::ConnectResult cres = co_await conn.Connect(/*hold_backlog=*/true);
-  if (tr != nullptr && cres.retries > 0) {
-    tr->InstantAt(tb.sched.now(), "syn_retry", obs::Category::kNet, track,
-                  cres.retries);
-  }
+  const net::ConnectResult cres =
+      co_await conn.Connect(/*hold_backlog=*/true, conn_span.handle());
   if (!cres.status.ok()) {
-    if (tr != nullptr) {
-      tr->InstantAt(tb.sched.now(), "connect_error", obs::Category::kNet,
-                    track);
-    }
+    conn_span.Instant("connect_error", cres.retries);
     if (RunWindow* w = FindWindow(windows, conn_start)) {
       ++w->attempts;
       ++w->errors;
@@ -313,10 +327,10 @@ sim::Process ClosedLoopConnection(Testbed& tb, Windows windows,
     const SimTime call_start = tb.sched.now();
     if (call_start >= end) break;
     const RequestSpec spec = mix.Sample(rng);
-    obs::ScopedSpan call_span(tr, &tb.sched, "call",
-                              obs::Category::kRequest, track, i);
+    obs::CausalSpan call_span(conn_span.handle(), "call",
+                              obs::Category::kRequest, i);
     const CallResult result =
-        co_await web->ServeCall(client->node_id(), spec);
+        co_await web->ServeCall(client->node_id(), spec, call_span.handle());
     if (RunWindow* w = FindWindow(windows, call_start)) {
       ++w->attempts;
       if (result.ok && !web->failed()) {
@@ -355,21 +369,13 @@ sim::Process OpenLoopRequest(Testbed& tb, RunWindow& window,
                              net::TcpHost* client,
                              LinearHistogram* histogram, Rng rng) {
   const SimTime start = tb.sched.now();
-  std::int32_t track = 0;
-  obs::Tracer* tr = tb.TraceFor(&track);
-  obs::ScopedSpan request_span(tr, &tb.sched, "request",
-                               obs::Category::kRequest, track);
+  obs::CausalSpan request_span(tb.StartTrace(), "request",
+                               obs::Category::kRequest);
   net::TcpConnection conn(client, &web->tcp_host());
-  const net::ConnectResult cres = co_await conn.Connect(/*hold_backlog=*/true);
-  if (tr != nullptr && cres.retries > 0) {
-    tr->InstantAt(tb.sched.now(), "syn_retry", obs::Category::kNet, track,
-                  cres.retries);
-  }
+  const net::ConnectResult cres =
+      co_await conn.Connect(/*hold_backlog=*/true, request_span.handle());
   if (!cres.status.ok()) {
-    if (tr != nullptr) {
-      tr->InstantAt(tb.sched.now(), "connect_error", obs::Category::kNet,
-                    track);
-    }
+    request_span.Instant("connect_error", cres.retries);
     if (window.InWindow(start)) {
       ++window.attempts;
       ++window.errors;
@@ -378,7 +384,8 @@ sim::Process OpenLoopRequest(Testbed& tb, RunWindow& window,
   }
   co_await web->AcceptWork();
   const RequestSpec spec = mix.Sample(rng);
-  const CallResult result = co_await web->ServeCall(client->node_id(), spec);
+  const CallResult result =
+      co_await web->ServeCall(client->node_id(), spec, request_span.handle());
   conn.Close();
   const Duration client_seen = tb.sched.now() - start;
   if (window.InWindow(start)) {
@@ -444,6 +451,13 @@ LevelReport WebExperiment::MeasureClosedLoop(const WorkloadMix& mix,
         tb.clstr.CumulativeJoules({"web-server", "cache-server"});
     web_sampler.Start();
     cache_sampler.Start();
+    // Window marks at the very instant the stats reset, so the trace
+    // analyzer can reproduce the report's windowing exactly.
+    if (tb.tracer != nullptr) {
+      tb.tracer->InstantAt(tb.sched.now(), "measure_start",
+                           obs::Category::kApp, 0);
+    }
+    if (tb.energy != nullptr) tb.energy->BeginWindow();
   });
   Joules window_joules = 0;
   tb.sched.ScheduleAt(window.measure_end, [&] {
@@ -453,6 +467,11 @@ LevelReport WebExperiment::MeasureClosedLoop(const WorkloadMix& mix,
     web_sampler.Stop();
     cache_sampler.Stop();
     if (tb.metrics != nullptr) tb.metrics->Stop();
+    if (tb.tracer != nullptr) {
+      tb.tracer->InstantAt(tb.sched.now(), "measure_end",
+                           obs::Category::kApp, 0);
+    }
+    if (tb.energy != nullptr) tb.energy->EndWindow();
   });
 
   if (tb.metrics != nullptr) tb.metrics->Start(&tb.sched, Seconds(1));
@@ -510,11 +529,23 @@ WebExperiment::FailureReport WebExperiment::MeasureWithFailure(
   const int to_fail =
       std::min<int>(failed_servers,
                     static_cast<int>(tb.webs.size()) - 1);
+  tb.sched.ScheduleAt(before.warmup_end, [&tb] {
+    if (tb.tracer != nullptr) {
+      tb.tracer->InstantAt(tb.sched.now(), "measure_start",
+                           obs::Category::kApp, 0);
+    }
+    if (tb.energy != nullptr) tb.energy->BeginWindow();
+  });
   tb.sched.ScheduleAt(before.measure_end, [&tb, to_fail] {
     for (int i = 0; i < to_fail; ++i) tb.webs[i]->set_failed(true);
   });
   tb.sched.ScheduleAt(after.measure_end, [&tb] {
     if (tb.metrics != nullptr) tb.metrics->Stop();
+    if (tb.tracer != nullptr) {
+      tb.tracer->InstantAt(tb.sched.now(), "measure_end",
+                           obs::Category::kApp, 0);
+    }
+    if (tb.energy != nullptr) tb.energy->EndWindow();
   });
 
   if (tb.metrics != nullptr) tb.metrics->Start(&tb.sched, Seconds(1));
@@ -569,9 +600,19 @@ OpenLoopReport WebExperiment::MeasureOpenLoop(const WorkloadMix& mix,
 
   tb.sched.ScheduleAt(window.warmup_end, [&] {
     for (auto& web : tb.webs) web->ResetStats();
+    if (tb.tracer != nullptr) {
+      tb.tracer->InstantAt(tb.sched.now(), "measure_start",
+                           obs::Category::kApp, 0);
+    }
+    if (tb.energy != nullptr) tb.energy->BeginWindow();
   });
   tb.sched.ScheduleAt(window.measure_end, [&tb] {
     if (tb.metrics != nullptr) tb.metrics->Stop();
+    if (tb.tracer != nullptr) {
+      tb.tracer->InstantAt(tb.sched.now(), "measure_end",
+                           obs::Category::kApp, 0);
+    }
+    if (tb.energy != nullptr) tb.energy->EndWindow();
   });
 
   if (tb.metrics != nullptr) tb.metrics->Start(&tb.sched, Seconds(1));

@@ -28,6 +28,7 @@
 #include "web/workload.h"
 
 namespace wimpy::obs {
+class EnergyAttributor;
 class MetricsRegistry;
 class Tracer;
 }  // namespace wimpy::obs
@@ -53,6 +54,12 @@ struct WebTestbedConfig {
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
   int trace_sample_every = 64;
+  // Optional span-energy attribution (obs/energy.h): when set, the
+  // testbed subscribes it to every web/cache/db node's power meter and
+  // marks the measurement window, so sampled request trees carry
+  // joules-per-span and the ledger's window subtotal mirrors the
+  // report's energy accounting. Borrowed; may be null.
+  obs::EnergyAttributor* energy = nullptr;
 };
 
 // Calibrated per-platform web-server configs (see web_server.h for the

@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "obs/energy.h"
+#include "obs/tracer.h"
+
 namespace wimpy::web {
 
 namespace {
@@ -48,13 +51,24 @@ sim::Task<void> WebServer::AcceptWork() {
 }
 
 sim::Task<CallResult> WebServer::ServeCall(int client_node_id,
-                                           const RequestSpec& spec) {
+                                           const RequestSpec& spec,
+                                           const obs::TraceHandle& parent) {
   CallResult result;
   sim::Scheduler& sched = node_->scheduler();
 
   // Upstream request bytes.
-  co_await fabric_->Transfer(client_node_id, node_->id(), 200);
+  co_await fabric_->Transfer(client_node_id, node_->id(), 200, parent,
+                             "req_xfer");
   const SimTime started = sched.now();
+
+  // The serve span brackets exactly the interval `result.total` measures
+  // (`started` to the co_return), so Table 7's total delay is
+  // re-derivable from the trace alone; likewise the cache/db child spans
+  // below bracket exactly the recorded fetch delays.
+  obs::CausalSpan serve(parent, "serve", obs::Category::kRequest,
+                        node_->id());
+  obs::ScopedResidency serve_res(energy_, node_->id(), serve.handle(),
+                                 "serve");
 
   // Overload check: lighttpd+FastCGI answers 500 when the backend queue is
   // hopeless rather than queueing forever.
@@ -63,9 +77,10 @@ sim::Task<CallResult> WebServer::ServeCall(int client_node_id,
       static_cast<std::size_t>(config_.queue_factor);
   if (php_workers_.queue_length() >= queue_limit) {
     ++errors_500_;
+    serve.Instant("http_500");
     co_await node_->cpu().Execute(Derated(0.05));
-    co_await fabric_->Transfer(node_->id(), client_node_id,
-                               kErrorReplyBytes);
+    co_await fabric_->Transfer(node_->id(), client_node_id, kErrorReplyBytes,
+                               serve.handle(), "reply_xfer");
     result.ok = false;
     result.total = sched.now() - started;
     result.reply_bytes = kErrorReplyBytes;
@@ -84,14 +99,26 @@ sim::Task<CallResult> WebServer::ServeCall(int client_node_id,
       CacheServer* cache =
           caches_[rng_.NextBelow(caches_.size())];
       const SimTime t0 = sched.now();
-      co_await cache->Get(node_->id(), spec.reply_bytes);
+      {
+        obs::CausalSpan fetch(serve.handle(), "cache",
+                              obs::Category::kRequest, cache->node().id());
+        obs::ScopedResidency fetch_res(energy_, cache->node().id(),
+                                       fetch.handle(), "cache");
+        co_await cache->Get(node_->id(), spec.reply_bytes);
+      }
       result.cache_delay = sched.now() - t0;
       cache_delay_.Add(result.cache_delay);
     } else if (!databases_.empty()) {
       DatabaseServer* db =
           databases_[rng_.NextBelow(databases_.size())];
       const SimTime t0 = sched.now();
-      co_await db->Query(node_->id(), spec.reply_bytes);
+      {
+        obs::CausalSpan fetch(serve.handle(), "db", obs::Category::kRequest,
+                              db->node().id());
+        obs::ScopedResidency fetch_res(energy_, db->node().id(),
+                                       fetch.handle(), "db");
+        co_await db->Query(node_->id(), spec.reply_bytes);
+      }
       result.db_delay = sched.now() - t0;
       db_delay_.Add(result.db_delay);
     }
@@ -103,7 +130,8 @@ sim::Task<CallResult> WebServer::ServeCall(int client_node_id,
     // The worker is free once the content is handed to the event loop.
   }
 
-  co_await fabric_->Transfer(node_->id(), client_node_id, spec.reply_bytes);
+  co_await fabric_->Transfer(node_->id(), client_node_id, spec.reply_bytes,
+                             serve.handle(), "reply_xfer");
 
   ++calls_ok_;
   result.ok = true;

@@ -23,10 +23,15 @@
 #include "common/stats.h"
 #include "hw/server_node.h"
 #include "net/tcp.h"
+#include "obs/context.h"
 #include "sim/semaphore.h"
 #include "sim/task.h"
 #include "web/backend.h"
 #include "web/workload.h"
+
+namespace wimpy::obs {
+class EnergyAttributor;
+}  // namespace wimpy::obs
 
 namespace wimpy::web {
 
@@ -83,9 +88,20 @@ class WebServer {
   // successful handshake.
   sim::Task<void> AcceptWork();
 
-  // Serves one HTTP call for a client at `client_node_id`.
-  sim::Task<CallResult> ServeCall(int client_node_id,
-                                  const RequestSpec& spec);
+  // Serves one HTTP call for a client at `client_node_id`. With a
+  // non-null `parent` handle the call is traced causally: "req_xfer" /
+  // "reply_xfer" net spans, a "serve" span (arg = this node's id)
+  // covering exactly the Table 7 `total` delay, nested "cache"/"db"
+  // fetch spans covering exactly the recorded fetch delays, and an
+  // "http_500" instant on the overload path. When an energy attributor
+  // is installed (set_energy), the serve/cache/db spans are also
+  // resident on their node for joule attribution.
+  sim::Task<CallResult> ServeCall(int client_node_id, const RequestSpec& spec,
+                                  const obs::TraceHandle& parent = {});
+
+  // Attaches span-energy attribution (may be null; must already observe
+  // the relevant nodes — see hw::ServerNode::ObserveEnergy).
+  void set_energy(obs::EnergyAttributor* energy) { energy_ = energy; }
 
   // --- statistics (reset per measurement window via Snapshot) -------------
   std::int64_t calls_ok() const { return calls_ok_; }
@@ -105,6 +121,7 @@ class WebServer {
   std::vector<CacheServer*> caches_;
   std::vector<DatabaseServer*> databases_;
   WebServerConfig config_;
+  obs::EnergyAttributor* energy_ = nullptr;
   bool failed_ = false;
   net::TcpHost tcp_host_;
   sim::Semaphore php_workers_;

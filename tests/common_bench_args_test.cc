@@ -24,17 +24,28 @@ TEST(BenchArgsTest, Defaults) {
   EXPECT_EQ(args.seed, 0x5EED2016u);
   EXPECT_TRUE(args.trace_path.empty());
   EXPECT_TRUE(args.metrics_path.empty());
+  EXPECT_TRUE(args.trace_summary_path.empty());
 }
 
 TEST(BenchArgsTest, ParsesAllFlags) {
   const BenchArgs args =
       Parse({"--replications=5", "--threads=3", "--seed=42",
-             "--trace=/tmp/t.json", "--metrics=/tmp/m.csv"});
+             "--trace=/tmp/t.json", "--metrics=/tmp/m.csv",
+             "--trace-summary=/tmp/s.csv"});
   EXPECT_EQ(args.replications, 5);
   EXPECT_EQ(args.threads, 3);
   EXPECT_EQ(args.seed, 42u);
   EXPECT_EQ(args.trace_path, "/tmp/t.json");
   EXPECT_EQ(args.metrics_path, "/tmp/m.csv");
+  EXPECT_EQ(args.trace_summary_path, "/tmp/s.csv");
+}
+
+TEST(BenchArgsTest, TraceSummaryDoesNotClobberTrace) {
+  // "--trace-summary" shares the "--trace" prefix; the parser must keep
+  // the two flags independent.
+  const BenchArgs args = Parse({"--trace-summary=/tmp/s.csv"});
+  EXPECT_TRUE(args.trace_path.empty());
+  EXPECT_EQ(args.trace_summary_path, "/tmp/s.csv");
 }
 
 TEST(BenchArgsTest, ResolvedThreadsIsAlwaysPositive) {

@@ -1,0 +1,89 @@
+// Exporter edge cases (docs/observability.md): an empty log list still
+// renders a valid Chrome trace document, spans left open at the end of a
+// run are synthetically closed at the log horizon (nested, flagged), and
+// a zero-series metrics render is exactly the CSV header.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace wimpy::obs {
+namespace {
+
+TEST(ExportEdgeTest, EmptyLogListRendersValidDocument) {
+  const std::string doc = RenderChromeTrace({});
+  EXPECT_EQ(doc, "{\"traceEvents\":[\n\n]}\n");
+  // A list of empty logs is the same document: no stray commas.
+  EXPECT_EQ(RenderChromeTrace({TraceLog{}, TraceLog{}}), doc);
+}
+
+TEST(ExportEdgeTest, OpenSpansAreClosedAtHorizonAndFlagged) {
+  Tracer tracer;
+  // Two spans left open on track 1 (nested) and one on track 2; a later
+  // instant on another track sets the horizon past all of them.
+  tracer.BeginSpanAt(1.0, "outer", Category::kRequest, 1,
+                     TraceContext{4, 10, 0});
+  tracer.BeginSpanAt(2.0, "inner", Category::kRequest, 1,
+                     TraceContext{4, 11, 10});
+  tracer.BeginSpanAt(3.0, "task", Category::kTask, 2);
+  tracer.InstantAt(5.0, "late", Category::kApp, 3);
+  TraceLog log = tracer.TakeLog();
+
+  const std::string doc = RenderChromeTrace({log});
+  // Every B gets an E: the document balances even though the log didn't.
+  std::size_t begins = 0;
+  std::size_t ends = 0;
+  std::size_t flagged = 0;
+  std::size_t start = 0;
+  std::vector<std::string> lines;
+  while (start < doc.size()) {
+    std::size_t end = doc.find('\n', start);
+    if (end == std::string::npos) end = doc.size();
+    lines.push_back(doc.substr(start, end - start));
+    start = end + 1;
+  }
+  std::size_t inner_end_line = 0;
+  std::size_t outer_end_line = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.find("\"ph\":\"B\"") != std::string::npos) ++begins;
+    if (line.find("\"ph\":\"E\"") != std::string::npos) {
+      ++ends;
+      // Synthesized closes land at the horizon (5 s -> 5e6 us).
+      EXPECT_NE(line.find("\"ts\":5000000"), std::string::npos) << line;
+      if (line.find("\"name\":\"inner\"") != std::string::npos) {
+        inner_end_line = i;
+      }
+      if (line.find("\"name\":\"outer\"") != std::string::npos) {
+        outer_end_line = i;
+      }
+    }
+    if (line.find("\"closed_at_horizon\":1") != std::string::npos) {
+      ++flagged;
+    }
+  }
+  EXPECT_EQ(begins, 3u);
+  EXPECT_EQ(ends, 3u);
+  EXPECT_EQ(flagged, 3u);
+  // Innermost-first per track, so B/E stay properly nested for Perfetto.
+  EXPECT_LT(inner_end_line, outer_end_line);
+  // The synthesized close keeps the causal identity of its begin.
+  EXPECT_NE(doc.find("\"trace\":4,\"span\":11,\"parent\":10,"
+                     "\"closed_at_horizon\":1"),
+            std::string::npos)
+      << doc;
+}
+
+TEST(ExportEdgeTest, ZeroSeriesMetricsCsvIsHeaderOnly) {
+  EXPECT_EQ(RenderMetricsCsv({}), "series,time_s,metric,value\n");
+  // Series with no sampled rows add nothing either.
+  EXPECT_EQ(RenderMetricsCsv({MetricsSeries{}, MetricsSeries{}}),
+            "series,time_s,metric,value\n");
+}
+
+}  // namespace
+}  // namespace wimpy::obs

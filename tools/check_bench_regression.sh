@@ -18,10 +18,10 @@
 # scheduler path (BM_SchedulerEventThroughput/100000) gets a stricter
 # OBS_THRESHOLD_PCT check (default 2%) — an attached-but-absent tracer
 # must stay in the noise — and the hooks-enabled variant's delta is
-# reported alongside. Unless SKIP_OBS_RUN=1, an obs-enabled export run
-# (tools/check_trace.sh) then validates --trace/--metrics end to end for
-# bench_fig4_7_web_light and the sweep-converted bench_fig10_11_delay_hist,
-# including a tools/flamegraph.py folding smoke test.
+# reported alongside. Unless SKIP_OBS_RUN=1, the non-benchmark CI gates
+# (tools/ci.sh: WIMPY_TSAN smoke plus the tools/check_trace.sh export
+# validation — trace/metrics schema, causal ids, flow arrows, flamegraph
+# folding, and the trace_analyze.py seed-77 golden) then run end to end.
 #
 # Defenses against shared-host noise (CPU steal, frequency scaling),
 # which on some hosts swings results ±30% between invocations:
@@ -198,6 +198,6 @@ done
 
 if [[ "${SKIP_OBS_RUN:-0}" == "0" ]]; then
   echo
-  echo "== obs-enabled export run (SKIP_OBS_RUN=1 to skip) =="
-  BUILD_DIR="${BUILD_DIR}" tools/check_trace.sh
+  echo "== non-benchmark CI gates (SKIP_OBS_RUN=1 to skip) =="
+  BUILD_DIR="${BUILD_DIR}" tools/ci.sh
 fi

@@ -1,12 +1,21 @@
 #!/usr/bin/env bash
-# Exports a Chrome trace + metrics CSV from bench_fig4_7_web_light and
-# bench_fig10_11_delay_hist (one original + one newly converted bench) and
+# Exports a Chrome trace + metrics CSV from bench_fig4_7_web_light,
+# bench_fig10_11_delay_hist, and bench_fig12_17_mr_timelines (the last
+# also pins that cross-track flow arrows are present — MapReduce task
+# attempts live on per-node tracks under the job span) and
 # validates them: the trace must be parseable JSON in trace-event format
 # (every event carries ph/ts/name/pid/tid/cat, instants carry the scope
-# key, ts is monotonic per (pid, tid) track, span begins/ends balance) and
-# the CSV must be well-formed long format (docs/observability.md). The
-# trace is also folded through tools/flamegraph.py as a smoke test of the
-# flame-graph pipeline.
+# key, ts is monotonic per (pid, tid) track, span begins/ends balance,
+# causal ids are consistent, and cross-track flow arrows come in matched
+# s/f pairs with shared string ids) and the CSV must be well-formed long
+# format (docs/observability.md). The trace is also folded through
+# tools/flamegraph.py as a smoke test of the flame-graph pipeline.
+#
+# A third section exercises the causal-tracing path end to end:
+# bench_kv_queries_per_joule at --seed=77 exports a trace plus the
+# --trace-summary roll-up CSV, tools/trace_analyze.py runs over both, and
+# the output is diffed against the checked-in golden
+# (tests/data/trace_analyze_kv_seed77.txt) — the same golden ctest pins.
 #
 # Usage:
 #   cmake -B build -S . && cmake --build build -j
@@ -22,8 +31,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
-BENCHES=(bench_fig4_7_web_light bench_fig10_11_delay_hist)
-for name in "${BENCHES[@]}"; do
+BENCHES=(bench_fig4_7_web_light bench_fig10_11_delay_hist
+         bench_fig12_17_mr_timelines)
+for name in "${BENCHES[@]}" bench_kv_queries_per_joule; do
   if [[ ! -x "${BUILD_DIR}/bench/${name}" ]]; then
     echo "error: ${BUILD_DIR}/bench/${name} not found; build it first:" >&2
     echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
@@ -63,9 +73,59 @@ for e in events:
 begins = sum(1 for e in events if e["ph"] == "B")
 ends = sum(1 for e in events if e["ph"] == "E")
 assert begins == ends, f"unbalanced spans: {begins} B vs {ends} E"
+
+# Causal identity (docs/observability.md): span B/E events may carry
+# args.trace/span/parent; every causal child's parent id must be another
+# span id of the same trace (or an unsampled enclosing span is absent —
+# only the root may be parentless), and ids are never self-referential.
+causal = 0
+spans_by_trace = {}
+for e in events:
+    if e["ph"] not in ("B", "E"):
+        continue
+    args = e.get("args", {})
+    if args.get("trace", 0) == 0 or args.get("span", 0) == 0:
+        continue
+    causal += 1
+    assert args["span"] != args.get("parent", 0), f"self-parent: {e}"
+    if e["ph"] == "B":
+        spans_by_trace.setdefault(args["trace"], set()).add(args["span"])
+orphans = 0
+for e in events:
+    if e["ph"] != "B":
+        continue
+    args = e.get("args", {})
+    parent = args.get("parent", 0)
+    if args.get("trace", 0) == 0 or parent == 0:
+        continue
+    if parent not in spans_by_trace.get(args["trace"], set()):
+        orphans += 1
+assert orphans == 0, f"{orphans} causal spans with unknown parent ids"
+
+# Flow arrows: every s (start) pairs with exactly one f (finish) on the
+# same string id, the finish binds to its enclosing slice (bp == "e"),
+# and both endpoints share pid and ts (they mark one causal edge).
+flows = {}
+for e in events:
+    if e["ph"] in ("s", "f"):
+        assert "id" in e, f"flow event without id: {e}"
+        flows.setdefault(e["id"], []).append(e)
+for fid, pair in flows.items():
+    kinds = sorted(p["ph"] for p in pair)
+    assert kinds == ["f", "s"], f"unpaired flow {fid}: {kinds}"
+    f_ev = next(p for p in pair if p["ph"] == "f")
+    s_ev = next(p for p in pair if p["ph"] == "s")
+    assert f_ev.get("bp") == "e", f"flow finish without bp=e: {f_ev}"
+    assert f_ev["pid"] == s_ev["pid"] and f_ev["ts"] == s_ev["ts"], \
+        f"flow endpoints disagree: {s_ev} vs {f_ev}"
+    assert f_ev["tid"] != s_ev["tid"], f"flow within one track: {fid}"
+
+horizon_closed = sum(1 for e in events
+                     if e.get("args", {}).get("closed_at_horizon"))
 print(f"trace OK: {len(events)} events on {len(last_ts)} tracks, "
       f"phases {sorted(phases)}, categories {sorted(categories)}, "
-      f"{begins} balanced spans")
+      f"{begins} balanced spans, {causal} causal span events, "
+      f"{len(flows)} flow arrows, {horizon_closed} closed at horizon")
 EOF
 }
 
@@ -96,6 +156,20 @@ check_bench() {
   validate_trace "${trace}"
   validate_metrics "${metrics}"
 
+  # MapReduce task attempts run on per-node tracks under the job span, so
+  # its export must contain cross-track flow arrows — the guard that the
+  # exporter's s/f emission didn't silently go dead (web/kv request trees
+  # stay on one track each and legitimately carry none).
+  if [[ "${name}" == "bench_fig12_17_mr_timelines" ]]; then
+    local n_flows
+    n_flows="$(grep -c '"ph":"s"' "${trace}" || true)"
+    if [[ "${n_flows}" -eq 0 ]]; then
+      echo "error: ${name} trace has no flow arrows" >&2
+      exit 1
+    fi
+    echo "flow arrows OK: ${n_flows} cross-track causal edges"
+  fi
+
   # Fold the trace for a flame graph; any non-empty output means the span
   # nesting survived the round trip (goldens pin exact values in ctest).
   local folded="${WORK}/${name}.folded"
@@ -122,5 +196,41 @@ check_bench() {
 for name in "${BENCHES[@]}"; do
   check_bench "${name}"
 done
+
+# --- causal tracing + critical-path/joule profiler golden ---------------
+# bench_kv_queries_per_joule at a pinned seed exports the causal trace and
+# the --trace-summary roll-up; trace_analyze.py over both must reproduce
+# the checked-in golden byte for byte (same pin as ctest's
+# tools_trace_analyze_kv_seed77_golden).
+kv_bin="${BUILD_DIR}/bench/bench_kv_queries_per_joule"
+kv_trace="${WORK}/kv77.trace.json"
+kv_summary="${WORK}/kv77.summary.csv"
+echo "== bench_kv_queries_per_joule (causal golden, --seed=77) =="
+"${kv_bin}" --replications=1 --threads=1 --seed=77 \
+  --trace="${kv_trace}" --trace-summary="${kv_summary}" \
+  > "${WORK}/kv77.stdout.txt"
+validate_trace "${kv_trace}"
+head -n 1 "${kv_summary}" \
+  | grep -qx 'series,trace_id,root,begin_s,latency_s,spans,complete,joules' \
+  || { echo "error: bad trace-summary CSV header" >&2; exit 1; }
+echo "trace summary OK: $(($(wc -l < "${kv_summary}") - 1)) rows"
+python3 tools/trace_analyze.py "${kv_trace}" --summary "${kv_summary}" \
+  -o "${WORK}/kv77.analysis.txt"
+diff -u tests/data/trace_analyze_kv_seed77.txt "${WORK}/kv77.analysis.txt" \
+  || { echo "error: trace_analyze.py output drifted from golden" >&2; \
+       exit 1; }
+echo "trace_analyze OK: output matches tests/data/trace_analyze_kv_seed77.txt"
+
+if [[ "${CHECK_DETERMINISM:-0}" != "0" ]]; then
+  echo "re-running causal exports at --threads=4 (same seed)..."
+  "${kv_bin}" --replications=1 --threads=4 --seed=77 \
+    --trace="${WORK}/kv77.trace_t4.json" \
+    --trace-summary="${WORK}/kv77.summary_t4.csv" > /dev/null
+  cmp "${kv_trace}" "${WORK}/kv77.trace_t4.json" \
+    || { echo "error: causal trace differs across --threads" >&2; exit 1; }
+  cmp "${kv_summary}" "${WORK}/kv77.summary_t4.csv" \
+    || { echo "error: trace summary differs across --threads" >&2; exit 1; }
+  echo "determinism OK: causal trace + summary byte-identical at --threads=1 and 4"
+fi
 
 echo "OK: trace and metrics exports validate"

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Single CI entry point for the repo's non-benchmark gates
+# (docs/parallel.md, docs/observability.md):
+#
+#   1. WIMPY_TSAN smoke — configures/builds a -fsanitize=thread tree and
+#      runs the concurrency-sensitive tests (the replication sweep runner
+#      and the hw profile registry) under TSan, the guard for the
+#      "bit-identical at any --threads" machinery actually being
+#      data-race-free.
+#   2. tools/check_trace.sh — obs export validation: trace-event JSON
+#      schema + causal ids + flow arrows, metrics CSV shape, flamegraph
+#      folding, the trace_analyze.py seed-77 golden, and (with
+#      CHECK_DETERMINISM=1) byte-identical exports across --threads.
+#
+# tools/check_bench_regression.sh calls this after its performance gate;
+# it can also run standalone.
+#
+# Usage:
+#   tools/ci.sh
+#   BUILD_DIR=out tools/ci.sh            # tree used by check_trace.sh
+#   SKIP_TSAN=1 tools/ci.sh              # skip the sanitizer build
+#   TSAN_BUILD_DIR=build-tsan tools/ci.sh
+#   CHECK_DETERMINISM=1 tools/ci.sh      # forwarded to check_trace.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
+TSAN_TESTS="${TSAN_TESTS:-replication|profiles_concurrency}"
+
+if [[ "${SKIP_TSAN:-0}" == "0" ]]; then
+  echo "== WIMPY_TSAN smoke (SKIP_TSAN=1 to skip) =="
+  if [[ ! -f "${TSAN_BUILD_DIR}/CMakeCache.txt" ]]; then
+    cmake -B "${TSAN_BUILD_DIR}" -S . -DWIMPY_TSAN=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  fi
+  # Only the concurrency-sensitive test binaries: a full TSan build of
+  # every bench would dominate CI time without adding coverage.
+  cmake --build "${TSAN_BUILD_DIR}" -j "$(nproc)" \
+    --target sim_replication_test hw_profiles_concurrency_test
+  (cd "${TSAN_BUILD_DIR}" && ctest -R "${TSAN_TESTS}" --output-on-failure)
+  echo "TSan smoke OK"
+else
+  echo "== WIMPY_TSAN smoke skipped (SKIP_TSAN=1) =="
+fi
+
+echo
+echo "== observability export checks =="
+BUILD_DIR="${BUILD_DIR}" tools/check_trace.sh
+
+echo
+echo "OK: ci.sh gates passed"
