@@ -4,6 +4,10 @@
 // and fair-share server that every experiment's wall time depends on.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "common/random.h"
 #include "hw/profiles.h"
 #include "kernels/dhrystone.h"
@@ -55,8 +59,132 @@ void BM_SchedulerEventThroughputTraced(benchmark::State& state) {
     benchmark::DoNotOptimize(tracer.size());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  // One untimed pass to surface the tracer arena's allocation behaviour:
+  // steady state should reuse recycled chunks, not allocate.
+  sim::Scheduler sched;
+  obs::Tracer tracer;
+  tracer.AttachEngineHook(&sched);
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    sched.ScheduleAt(static_cast<double>(i % 97), [] {});
+  }
+  sched.Run();
+  state.counters["arena_chunk_allocs"] =
+      static_cast<double>(tracer.arena_chunk_allocs());
+  state.counters["arena_chunk_reuses"] =
+      static_cast<double>(tracer.arena_chunk_reuses());
 }
 BENCHMARK(BM_SchedulerEventThroughputTraced)->Arg(100000);
+
+// Wheel-vs-heap tier comparison on the shape the wheel was built for:
+// many *distinct* timestamps (no same-time chain batching), all inside /
+// all beyond the wheel horizon. The two benches run the identical
+// schedule+drain loop; only the delay scale differs, so the items/sec
+// gap is the pending-set data structure and nothing else.
+void RunDistinctTimes(benchmark::State& state, double delay_scale) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    const int n = static_cast<int>(state.range(0));
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      // 7919 is prime vs the modulus: i*7919 % 50000 visits distinct
+      // residues, so timestamps collide only after 50k events.
+      const double delay = delay_scale * (1 + (i * 7919) % 50000);
+      sched.ScheduleAfter(delay, [&fired] { ++fired; });
+    }
+    sched.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  sim::Scheduler sched;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    sched.ScheduleAfter(delay_scale * (1 + (i * 7919) % 50000), [] {});
+  }
+  sched.Run();
+  state.counters["wheel_inserts"] =
+      static_cast<double>(sched.wheel_inserts());
+  state.counters["wheel_promotions"] =
+      static_cast<double>(sched.wheel_promotions());
+  state.counters["overflow_spills"] =
+      static_cast<double>(sched.wheel_overflow_spills());
+}
+
+// 1 µs tick scale: every delay lands in the wheel (max 50 ms < 65.5 ms
+// horizon).
+void BM_SchedulerDistinctTimesWheel(benchmark::State& state) {
+  RunDistinctTimes(state, 1e-6);
+}
+BENCHMARK(BM_SchedulerDistinctTimesWheel)->Arg(100000);
+
+// 10 ms scale: every delay overshoots the horizon and spills to the
+// overflow heap — the seed engine's data structure on the same script.
+void BM_SchedulerDistinctTimesHeap(benchmark::State& state) {
+  RunDistinctTimes(state, 1e-2);
+}
+BENCHMARK(BM_SchedulerDistinctTimesHeap)->Arg(100000);
+
+// fig4_7-shaped short-delay serving loop: open-loop arrivals every
+// ~100 µs; each request burns a µs-scale CPU slice, then a network hop,
+// with a 50 ms deadline timer armed at admission and cancelled at
+// completion. Exercises the wheel's bread and butter — dense short
+// delays plus timer churn — end to end through the public API.
+void BM_SchedulerShortDelayServing(benchmark::State& state) {
+  struct Request {
+    sim::Scheduler* sched;
+    sim::EventId deadline = 0;
+    int* completed;
+    std::uint32_t lcg;
+    void Admit() {
+      deadline = sched->ScheduleAfter(0.050, [] { /* timed out */ });
+      const double service = 1e-6 * (50 + lcg % 400);
+      sched->ScheduleAfter(service, [this] { Network(); });
+    }
+    void Network() {
+      const double hop = 1e-6 * (20 + (lcg >> 8) % 100);
+      sched->ScheduleAfter(hop, [this] { Done(); });
+    }
+    void Done() {
+      sched->Cancel(deadline);
+      ++*completed;
+    }
+  };
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    std::vector<Request> requests(static_cast<std::size_t>(n));
+    int completed = 0;
+    for (int i = 0; i < n; ++i) {
+      requests[static_cast<std::size_t>(i)] = {
+          &sched, 0, &completed,
+          static_cast<std::uint32_t>(i * 2654435761u)};
+      sched.ScheduleAt(1e-4 * i, [&requests, i] {
+        requests[static_cast<std::size_t>(i)].Admit();
+      });
+    }
+    sched.Run();
+    benchmark::DoNotOptimize(completed);
+  }
+  // 4 events per request: arrival, service done, hop done, plus the
+  // cancelled deadline's schedule+cancel pair counted as one.
+  state.SetItemsProcessed(state.iterations() * n * 4);
+  sim::Scheduler sched;
+  std::vector<Request> requests(static_cast<std::size_t>(n));
+  int completed = 0;
+  for (int i = 0; i < n; ++i) {
+    requests[static_cast<std::size_t>(i)] = {
+        &sched, 0, &completed, static_cast<std::uint32_t>(i * 2654435761u)};
+    sched.ScheduleAt(1e-4 * i, [&requests, i] {
+      requests[static_cast<std::size_t>(i)].Admit();
+    });
+  }
+  sched.Run();
+  state.counters["wheel_inserts"] =
+      static_cast<double>(sched.wheel_inserts());
+  state.counters["wheel_promotions"] =
+      static_cast<double>(sched.wheel_promotions());
+  state.counters["overflow_spills"] =
+      static_cast<double>(sched.wheel_overflow_spills());
+}
+BENCHMARK(BM_SchedulerShortDelayServing)->Arg(20000);
 
 // Arm/cancel/re-arm churn, the FairShareServer::Reschedule pattern: every
 // simulated arrival cancels the pending completion event and arms a new
@@ -193,4 +321,20 @@ BENCHMARK(BM_TeraSort)->Arg(10000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Wheel geometry and arena sizing ride along in the JSON context so a
+  // recorded BENCH_engine.json pins the configuration it measured.
+  constexpr auto geom = wimpy::sim::Scheduler::wheel_geometry();
+  benchmark::AddCustomContext("wheel_levels", std::to_string(geom.levels));
+  benchmark::AddCustomContext("wheel_buckets_per_level",
+                              std::to_string(geom.buckets_per_level));
+  benchmark::AddCustomContext("wheel_tick_seconds",
+                              std::to_string(geom.tick_seconds));
+  benchmark::AddCustomContext("wheel_horizon_ticks",
+                              std::to_string(geom.horizon_ticks));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

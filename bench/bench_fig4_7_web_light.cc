@@ -34,12 +34,14 @@ struct CellResult {
   double error_rate = 0;
   double delay_ms = 0;
   double power = 0;
+  double mj_per_req = 0;  // attributed, from the energy ledger
   obs::TraceLog trace;
   obs::MetricsSeries metrics;
+  obs::EnergyLedger ledger;
 };
 
 CellResult RunCell(const Cell& cell, Rng& root, bool want_trace,
-                   bool want_metrics) {
+                   bool want_metrics, bool want_summary) {
   web::WebTestbedConfig cfg =
       cell.scale.edison
           ? web::EdisonWebTestbed(cell.scale.web_servers,
@@ -49,8 +51,10 @@ CellResult RunCell(const Cell& cell, Rng& root, bool want_trace,
   cfg.seed = root.Next();
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
-  if (want_trace) cfg.tracer = &tracer;
+  obs::EnergyAttributor energy;
+  if (want_trace || want_summary) cfg.tracer = &tracer;
   if (want_metrics) cfg.metrics = &metrics;
+  if (want_summary) cfg.energy = &energy;
   web::WebExperiment exp(std::move(cfg));
   const web::LevelReport r = exp.MeasureClosedLoop(
       web::LightMix(), cell.concurrency,
@@ -58,8 +62,12 @@ CellResult RunCell(const Cell& cell, Rng& root, bool want_trace,
       bench::WarmupWindow(), bench::MeasureWindowFor(cell.concurrency));
   CellResult res{r.achieved_rps, r.error_rate, 1000 * r.mean_response,
                  r.middle_tier_power};
-  if (want_trace) res.trace = tracer.TakeLog();
+  if (want_trace || want_summary) res.trace = tracer.TakeLog();
   if (want_metrics) res.metrics = metrics.TakeSeries();
+  if (want_summary) {
+    res.ledger = energy.TakeLedger();
+    res.mj_per_req = bench::MeanRequestMillijoules(res.ledger);
+  }
   return res;
 }
 
@@ -91,10 +99,11 @@ int main(int argc, char** argv) {
   const sim::SweepPlan plan{args.replications, threads, args.seed};
   const bool want_trace = !args.trace_path.empty();
   const bool want_metrics = !args.metrics_path.empty();
+  const bool want_summary = !args.trace_summary_path.empty();
   const auto t0 = std::chrono::steady_clock::now();
   auto sweep =
       sim::RunSweep(cells, plan, [&](const Cell& cell, Rng& root) {
-        return RunCell(cell, root, want_trace, want_metrics);
+        return RunCell(cell, root, want_trace, want_metrics, want_summary);
       });
   const double sweep_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -107,15 +116,23 @@ int main(int argc, char** argv) {
   for (const auto& s : scales) header.push_back(s.label);
   header.push_back("Edison power (24)");
   header.push_back("Dell power (2)");
+  // Per-request attributed energy columns ride along when the energy
+  // ledger is being filled (--trace-summary).
+  const std::size_t base_columns = header.size();
+  if (want_summary) {
+    header.push_back("Edison mJ/req (24)");
+    header.push_back("Dell mJ/req (2)");
+  }
   rps.SetHeader(header);
-  delay.SetHeader(std::vector<std::string>(header.begin(),
-                                           header.end() - 2));
+  delay.SetHeader(std::vector<std::string>(
+      header.begin(), header.begin() + (base_columns - 2)));
 
   int cell_idx = 0;
   for (double conc : levels) {
     std::vector<std::string> rps_row{TextTable::Num(conc, 0)};
     std::vector<std::string> delay_row{TextTable::Num(conc, 0)};
     double edison_power = 0, dell_power = 0;
+    double edison_mj = 0, dell_mj = 0;
     for (const auto& scale : scales) {
       const auto& reps = sweep[cell_idx++];
       const MetricSummary rate =
@@ -134,9 +151,19 @@ int main(int argc, char** argv) {
       delay_row.push_back(FormatMeanCI(delay_ms, 1));
       if (scale.label == "24 Edison") edison_power = power.mean;
       if (scale.label == "2 Dell") dell_power = power.mean;
+      if (want_summary) {
+        const MetricSummary mj = SummarizeOver(
+            reps, [](const CellResult& r) { return r.mj_per_req; });
+        if (scale.label == "24 Edison") edison_mj = mj.mean;
+        if (scale.label == "2 Dell") dell_mj = mj.mean;
+      }
     }
     rps_row.push_back(TextTable::Num(edison_power, 1) + " W");
     rps_row.push_back(TextTable::Num(dell_power, 1) + " W");
+    if (want_summary) {
+      rps_row.push_back(TextTable::Num(edison_mj, 2));
+      rps_row.push_back(TextTable::Num(dell_mj, 2));
+    }
     rps.AddRow(rps_row);
     delay.AddRow(delay_row);
   }
@@ -153,7 +180,7 @@ int main(int argc, char** argv) {
       "throughput; Edison cluster power ~56-58 W vs Dell 170-200 W ->\n"
       "~3.5x work-done-per-joule at peak; Edison delay ~5x Dell's at low\n"
       "concurrency but Dell's delay explodes past its knee.\n");
-  bench::ExportSweepObs(args, sweep);
+  bench::ExportSweepObsEnergy(args, sweep);
   std::printf(
       "\nSweep: %zu configs x %d replication(s) on %d thread(s) in %.2fs.\n",
       cells.size(), plan.replications, threads, sweep_seconds);

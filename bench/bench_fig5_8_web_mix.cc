@@ -12,6 +12,9 @@
 #include "common/bench_args.h"
 #include "common/summary.h"
 #include "common/table.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "obs_bench_util.h"
 #include "sim/replication.h"
 #include "web_bench_util.h"
 
@@ -30,9 +33,14 @@ struct CellResult {
   double rps = 0;
   double error_rate = 0;
   double delay_ms = 0;
+  double mj_per_req = 0;  // attributed, from the energy ledger
+  obs::TraceLog trace;
+  obs::MetricsSeries metrics;
+  obs::EnergyLedger ledger;
 };
 
-CellResult RunCell(const Cell& cell, Rng& root) {
+CellResult RunCell(const Cell& cell, Rng& root, bool want_trace,
+                   bool want_metrics, bool want_summary) {
   web::WebTestbedConfig cfg =
       cell.scale.edison
           ? web::EdisonWebTestbed(cell.scale.web_servers,
@@ -40,12 +48,25 @@ CellResult RunCell(const Cell& cell, Rng& root) {
           : web::DellWebTestbed(cell.scale.web_servers,
                                 cell.scale.cache_servers);
   cfg.seed = root.Next();
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  obs::EnergyAttributor energy;
+  if (want_trace || want_summary) cfg.tracer = &tracer;
+  if (want_metrics) cfg.metrics = &metrics;
+  if (want_summary) cfg.energy = &energy;
   web::WebExperiment exp(std::move(cfg));
   const web::LevelReport r = exp.MeasureClosedLoop(
       cell.mix, cell.concurrency,
       web::WebExperiment::TunedCallsPerConnection(cell.concurrency),
       bench::WarmupWindow(), bench::MeasureWindowFor(cell.concurrency));
-  return {r.achieved_rps, r.error_rate, 1000 * r.mean_response};
+  CellResult res{r.achieved_rps, r.error_rate, 1000 * r.mean_response};
+  if (want_trace || want_summary) res.trace = tracer.TakeLog();
+  if (want_metrics) res.metrics = metrics.TakeSeries();
+  if (want_summary) {
+    res.ledger = energy.TakeLedger();
+    res.mj_per_req = bench::MeanRequestMillijoules(res.ledger);
+  }
+  return res;
 }
 
 }  // namespace
@@ -77,8 +98,14 @@ int main(int argc, char** argv) {
   }
 
   const sim::SweepPlan plan{args.replications, threads, args.seed};
+  const bool want_trace = !args.trace_path.empty();
+  const bool want_metrics = !args.metrics_path.empty();
+  const bool want_summary = !args.trace_summary_path.empty();
   const auto t0 = std::chrono::steady_clock::now();
-  const auto sweep = sim::RunSweep(cells, plan, RunCell);
+  auto sweep =
+      sim::RunSweep(cells, plan, [&](const Cell& cell, Rng& root) {
+        return RunCell(cell, root, want_trace, want_metrics, want_summary);
+      });
   const double sweep_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -91,12 +118,18 @@ int main(int argc, char** argv) {
                     scale.label + " web servers");
     std::vector<std::string> header{"Concurrency"};
     for (const auto& c : cases) header.push_back(c.label);
-    rps.SetHeader(header);
     delay.SetHeader(header);
+    // Per-request attributed energy columns (one per mix) ride along
+    // when the energy ledger is being filled (--trace-summary).
+    if (want_summary) {
+      for (const auto& c : cases) header.push_back(c.label + " mJ/req");
+    }
+    rps.SetHeader(header);
 
     for (double conc : levels) {
       std::vector<std::string> rps_row{TextTable::Num(conc, 0)};
       std::vector<std::string> delay_row{TextTable::Num(conc, 0)};
+      std::vector<std::string> mj_cells;
       for (std::size_t i = 0; i < cases.size(); ++i) {
         const auto& reps = sweep[cell_idx++];
         const MetricSummary rate =
@@ -111,7 +144,13 @@ int main(int argc, char** argv) {
         }
         rps_row.push_back(cell);
         delay_row.push_back(FormatMeanCI(delay_ms, 1));
+        if (want_summary) {
+          const MetricSummary mj = SummarizeOver(
+              reps, [](const CellResult& r) { return r.mj_per_req; });
+          mj_cells.push_back(TextTable::Num(mj.mean, 2));
+        }
       }
+      for (auto& c : mj_cells) rps_row.push_back(std::move(c));
       rps.AddRow(rps_row);
       delay.AddRow(delay_row);
     }
@@ -126,6 +165,7 @@ int main(int argc, char** argv) {
       "across these mixes, but the 1024-concurrency point drops sharply\n"
       "as image share rises, and delays roughly double even at low\n"
       "concurrency when images are in the mix.\n");
+  bench::ExportSweepObsEnergy(args, sweep);
   std::printf(
       "\nSweep: %zu configs x %d replication(s) on %d thread(s) in %.2fs.\n",
       cells.size(), plan.replications, threads, sweep_seconds);

@@ -13,6 +13,9 @@
 #include "common/csv.h"
 #include "common/summary.h"
 #include "common/table.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "obs_bench_util.h"
 #include "sim/replication.h"
 #include "web_bench_util.h"
 
@@ -31,9 +34,14 @@ struct CellResult {
   double error_rate = 0;
   double delay_ms = 0;
   double power = 0;
+  double mj_per_req = 0;  // attributed, from the energy ledger
+  obs::TraceLog trace;
+  obs::MetricsSeries metrics;
+  obs::EnergyLedger ledger;
 };
 
-CellResult RunCell(const Cell& cell, Rng& root) {
+CellResult RunCell(const Cell& cell, Rng& root, bool want_trace,
+                   bool want_metrics, bool want_summary) {
   web::WebTestbedConfig cfg =
       cell.scale.edison
           ? web::EdisonWebTestbed(cell.scale.web_servers,
@@ -41,13 +49,26 @@ CellResult RunCell(const Cell& cell, Rng& root) {
           : web::DellWebTestbed(cell.scale.web_servers,
                                 cell.scale.cache_servers);
   cfg.seed = root.Next();
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  obs::EnergyAttributor energy;
+  if (want_trace || want_summary) cfg.tracer = &tracer;
+  if (want_metrics) cfg.metrics = &metrics;
+  if (want_summary) cfg.energy = &energy;
   web::WebExperiment exp(std::move(cfg));
   const web::LevelReport r = exp.MeasureClosedLoop(
       web::HeavyMix(), cell.concurrency,
       web::WebExperiment::TunedCallsPerConnection(cell.concurrency),
       bench::WarmupWindow(), bench::MeasureWindowFor(cell.concurrency));
-  return {r.achieved_rps, r.error_rate, 1000 * r.mean_response,
-          r.middle_tier_power};
+  CellResult res{r.achieved_rps, r.error_rate, 1000 * r.mean_response,
+                 r.middle_tier_power};
+  if (want_trace || want_summary) res.trace = tracer.TakeLog();
+  if (want_metrics) res.metrics = metrics.TakeSeries();
+  if (want_summary) {
+    res.ledger = energy.TakeLedger();
+    res.mj_per_req = bench::MeanRequestMillijoules(res.ledger);
+  }
+  return res;
 }
 
 }  // namespace
@@ -67,8 +88,14 @@ int main(int argc, char** argv) {
   }
 
   const sim::SweepPlan plan{args.replications, threads, args.seed};
+  const bool want_trace = !args.trace_path.empty();
+  const bool want_metrics = !args.metrics_path.empty();
+  const bool want_summary = !args.trace_summary_path.empty();
   const auto t0 = std::chrono::steady_clock::now();
-  const auto sweep = sim::RunSweep(cells, plan, RunCell);
+  auto sweep =
+      sim::RunSweep(cells, plan, [&](const Cell& cell, Rng& root) {
+        return RunCell(cell, root, want_trace, want_metrics, want_summary);
+      });
   const double sweep_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -81,9 +108,16 @@ int main(int argc, char** argv) {
   for (const auto& s : scales) header.push_back(s.label);
   header.push_back("Edison power (24)");
   header.push_back("Dell power (2)");
+  // Per-request attributed energy columns ride along when the energy
+  // ledger is being filled (--trace-summary).
+  const std::size_t base_columns = header.size();
+  if (want_summary) {
+    header.push_back("Edison mJ/req (24)");
+    header.push_back("Dell mJ/req (2)");
+  }
   rps.SetHeader(header);
-  delay.SetHeader(std::vector<std::string>(header.begin(),
-                                           header.end() - 2));
+  delay.SetHeader(std::vector<std::string>(
+      header.begin(), header.begin() + (base_columns - 2)));
 
   double edison_peak = 0, dell_peak = 0;
   double edison_peak_power = 0, dell_peak_power = 0;
@@ -92,6 +126,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> rps_row{TextTable::Num(conc, 0)};
     std::vector<std::string> delay_row{TextTable::Num(conc, 0)};
     double epow = 0, dpow = 0;
+    double emj = 0, dmj = 0;
     for (const auto& scale : scales) {
       const auto& reps = sweep[cell_idx++];
       const MetricSummary rate =
@@ -122,9 +157,19 @@ int main(int argc, char** argv) {
           dell_peak_power = dpow;
         }
       }
+      if (want_summary) {
+        const MetricSummary mj = SummarizeOver(
+            reps, [](const CellResult& r) { return r.mj_per_req; });
+        if (scale.label == "24 Edison") emj = mj.mean;
+        if (scale.label == "2 Dell") dmj = mj.mean;
+      }
     }
     rps_row.push_back(TextTable::Num(epow, 1) + " W");
     rps_row.push_back(TextTable::Num(dpow, 1) + " W");
+    if (want_summary) {
+      rps_row.push_back(TextTable::Num(emj, 2));
+      rps_row.push_back(TextTable::Num(dmj, 2));
+    }
     rps.AddRow(rps_row);
     delay.AddRow(delay_row);
   }
@@ -147,6 +192,7 @@ int main(int argc, char** argv) {
       "half Edison cluster can no longer survive 1024 concurrency; Edison\n"
       "drops from slightly ahead of Dell to slightly behind, but the\n"
       "3.5x energy-efficiency edge persists.\n");
+  bench::ExportSweepObsEnergy(args, sweep);
   std::printf(
       "\nSweep: %zu configs x %d replication(s) on %d thread(s) in %.2fs.\n",
       cells.size(), plan.replications, threads, sweep_seconds);

@@ -16,6 +16,8 @@
 #ifndef WIMPY_BENCH_OBS_BENCH_UTIL_H_
 #define WIMPY_BENCH_OBS_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <utility>
 #include <vector>
@@ -52,6 +54,25 @@ inline void ExportObsLogs(const BenchArgs& args,
                    st.message().c_str());
     }
   }
+}
+
+// Mean attributed millijoules per request in a replication's ledger:
+// the sum of span-attributed joules divided by the number of distinct
+// traces (requests) that accrued any. The same per-trace roll-up the
+// --trace-summary CSV writes, collapsed to one number so the web bench
+// tables can print it as a column.
+inline double MeanRequestMillijoules(const obs::EnergyLedger& ledger) {
+  double joules = 0;
+  std::vector<std::uint64_t> traces;
+  traces.reserve(ledger.rows.size());
+  for (const obs::SpanEnergyRow& row : ledger.rows) {
+    joules += row.joules;
+    traces.push_back(row.trace_id);
+  }
+  std::sort(traces.begin(), traces.end());
+  traces.erase(std::unique(traces.begin(), traces.end()), traces.end());
+  if (traces.empty()) return 0;
+  return 1000 * joules / static_cast<double>(traces.size());
 }
 
 template <typename Sweep>

@@ -1,5 +1,6 @@
 #include "sim/batch_timer.h"
 
+#include <cassert>
 #include <utility>
 
 namespace wimpy::sim {
@@ -20,6 +21,7 @@ BatchTimerQueue::Token BatchTimerQueue::Arm(EventFn fn) {
   // Only the queue front needs an engine event; OnFire re-arms after the
   // drain loop, so don't double-arm from inside it.
   if (head_event_ == 0 && !in_fire_) ArmHead();
+  CheckInvariants();
   return token;
 }
 
@@ -29,9 +31,20 @@ bool BatchTimerQueue::Cancel(Token token) {
   if (!entry.fn) return false;
   entry.fn.Reset();
   --live_;
-  // The head event (if this was the front) fires as a cheap no-op and
-  // re-arms for the next live entry — the same lazy-unhook scheme the
-  // scheduler uses for cancelled chain links.
+  // Trim the cancelled prefix eagerly: TIME_WAIT churn cancels mostly in
+  // arm order, and without this the deque accumulates a dead prefix that
+  // the drain loop would only release at expiry (delay seconds later).
+  // The armed head event is left alone — it fires at (or before) the new
+  // front's due time, drains nothing, and re-arms correctly.
+  while (!fifo_.empty() && !fifo_.front().fn) {
+    fifo_.pop_front();
+    ++first_token_;
+  }
+  if (fifo_.empty() && head_event_ != 0) {
+    sched_->Cancel(head_event_);
+    head_event_ = 0;
+  }
+  CheckInvariants();
   return true;
 }
 
@@ -56,6 +69,24 @@ void BatchTimerQueue::OnFire() {
   }
   in_fire_ = false;
   if (!fifo_.empty()) ArmHead();
+  CheckInvariants();
+}
+
+void BatchTimerQueue::CheckInvariants() const {
+#ifndef NDEBUG
+  // Token arithmetic: every entry ever armed has a token, and resident
+  // entries are exactly the token window [first_token_, next_token_).
+  assert(first_token_ + fifo_.size() == next_token_);
+  // No double accounting: live_ must equal the resident live closures.
+  std::size_t live = 0;
+  for (const Entry& e : fifo_) {
+    if (e.fn) ++live;
+  }
+  assert(live == live_);
+  // Exactly one engine event is pending whenever entries are resident
+  // (except mid-fire, when OnFire re-arms after its drain loop).
+  assert((head_event_ != 0) == (!fifo_.empty() && !in_fire_));
+#endif
 }
 
 }  // namespace wimpy::sim

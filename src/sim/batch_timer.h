@@ -4,17 +4,21 @@
 // TIME_WAIT expiry is the canonical case: every closed connection holds
 // its slot for exactly `time_wait` seconds. Scheduling one engine event
 // per timer puts one timestamp chain per connection on the scheduler's
-// heap; with thousands of closes per simulated second that is pure
-// overhead, because equal delays armed at non-decreasing times expire in
-// exactly the order they were armed.
+// pending set; with thousands of closes per simulated second that is
+// pure overhead, because equal delays armed at non-decreasing times
+// expire in exactly the order they were armed.
 //
 // A BatchTimerQueue exploits that: it keeps a FIFO of {due, closure}
 // entries (the per-delay analogue of the scheduler's timestamp chains,
 // keyed by delay at arm time) and arms exactly ONE engine event, for the
 // front entry. Arm is an O(1) ring append; Cancel is an O(1) closure
 // reset (the dead entry is skipped for free when the FIFO drains); the
-// engine's heap holds one chain per queue instead of one per timer —
-// TIME_WAIT handling is O(1) end to end (ROADMAP item).
+// engine's pending set holds one chain per queue instead of one per
+// timer — TIME_WAIT handling is O(1) end to end (ROADMAP item). The
+// queue routes through whichever scheduler tier fits its delay: short
+// delays (< the wheel horizon, ~65 ms) land the head event in the
+// timing wheel, long ones (TIME_WAIT's seconds) in the overflow heap —
+// either way, one resident chain per queue.
 //
 // Ordering semantics: entries due at the same instant run back-to-back
 // inside one engine event, in arm order. Relative order against
@@ -56,7 +60,11 @@ class BatchTimerQueue {
   bool Cancel(Token token);
 
   Duration delay() const { return delay_; }
-  std::size_t pending() const { return live_; }
+  // Live (armed, not yet fired or cancelled) timers. The class invariant
+  // — checked after every mutation in debug builds — is that this equals
+  // the number of non-empty closures resident in the FIFO.
+  std::size_t pending_count() const { return live_; }
+  std::size_t pending() const { return live_; }  // legacy alias
   // Engine events this queue has consumed; tests pin the batching win
   // (many arms, few engine events).
   std::uint64_t engine_events_armed() const { return engine_events_armed_; }
@@ -69,6 +77,9 @@ class BatchTimerQueue {
 
   void ArmHead();
   void OnFire();
+  // Debug-only consistency walk: token arithmetic, live-entry count, and
+  // head-event armed state must all agree. No-op under NDEBUG.
+  void CheckInvariants() const;
 
   Scheduler* sched_;
   Duration delay_;

@@ -317,6 +317,69 @@ TEST(EventTraceTest, MatchesReferenceEngineOnMixedOps) {
   EXPECT_EQ(real.Now(), ref.Now());
 }
 
+// Differential tier-crossing reschedules: the real engine's in-place
+// RescheduleAfter (across wheel->heap, heap->wheel, and same-bucket
+// moves) must produce the byte-identical event stream of the reference
+// engine's Cancel + ScheduleAfter. Delays straddle the ~65 ms wheel
+// horizon so every tier transition appears in one script.
+template <typename Engine, typename Resched>
+void RunTierCrossMix(Engine& eng, Resched resched) {
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 24; ++i) {
+    // Even events start short-delay (wheel tier), odd start far-future
+    // (overflow heap).
+    const SimTime t = (i % 2 == 0) ? 0.0005 * (1 + i % 8)
+                                   : 0.5 + 0.125 * (i % 6);
+    ids.push_back(eng.Schedule(t, i, nullptr));
+  }
+  for (int i = 0; i < 24; i += 3) {
+    // Even (wheel-resident) events move past the horizon; odd
+    // (heap-resident) events move inside it.
+    const double delay =
+        (i % 2 == 0) ? 1.0 + 0.25 * i : 0.001 * (1 + i % 4);
+    ids[i] = resched(eng, ids[i], i, delay);
+  }
+  // Same-tick re-aim: nudge an event by less than one wheel tick so the
+  // old and new chain share a bucket.
+  ids[2] = resched(eng, ids[2], 2, 0.0015 + 4e-10);
+  // A window run between reschedule volleys, then a second volley from a
+  // nonzero clock, then drain.
+  eng.Run(0.01);
+  for (int i = 1; i < 24; i += 4) {
+    const double delay = (i % 3 == 0) ? 2.0 : 0.002 * (1 + i % 3);
+    const std::uint64_t moved = resched(eng, ids[i], i, delay);
+    if (moved != 0) ids[i] = moved;  // already fired -> no-op, like ref
+  }
+  eng.RunAll();
+}
+
+TEST(EventTraceTest, RescheduleAcrossTiersMatchesReference) {
+  RealEngine real;
+  RefEngine ref;
+  RunTierCrossMix(real, [](RealEngine& e, std::uint64_t id, int /*label*/,
+                           double delay) {
+    // In place: the closure (and its label) travels with the event.
+    return e.sched.RescheduleAfter(id, delay);
+  });
+  RunTierCrossMix(ref, [](RefEngine& e, std::uint64_t id, int label,
+                          double delay) -> std::uint64_t {
+    // Reference semantics: cancel + schedule a fresh event, one sequence
+    // number either way.
+    if (!e.Cancel(id)) return 0;
+    return e.Schedule(e.Now() + delay, label, nullptr);
+  });
+  ASSERT_EQ(real.trace.size(), ref.trace.size());
+  for (std::size_t i = 0; i < real.trace.size(); ++i) {
+    const TraceEvent& a = real.trace.events()[i];
+    const TraceEvent& b = ref.trace.events()[i];
+    EXPECT_EQ(a.time, b.time) << "entry " << i;
+    EXPECT_EQ(a.arg, b.arg) << "entry " << i;
+  }
+  EXPECT_EQ(TraceHash(real.trace), TraceHash(ref.trace));
+  EXPECT_EQ(real.Now(), ref.Now());
+  EXPECT_EQ(real.sched.pending_events(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Golden full-stack workload: web + MapReduce + cancel churn.
 

@@ -21,7 +21,7 @@
 #   cmake -B build -S . && cmake --build build -j
 #   tools/check_trace.sh
 #   BUILD_DIR=out tools/check_trace.sh
-#   CHECK_DETERMINISM=1 tools/check_trace.sh   # also run --threads=1 vs 4
+#   CHECK_DETERMINISM=1 tools/check_trace.sh   # also run --threads=1 vs 8
 #
 # CHECK_DETERMINISM re-runs each bench at two worker-thread counts with the
 # same seed and requires byte-identical exports (the contract obs tests
@@ -179,17 +179,17 @@ check_bench() {
   echo "flamegraph OK: $(wc -l < "${folded}") folded stacks"
 
   if [[ "${CHECK_DETERMINISM:-0}" != "0" ]]; then
-    echo "re-running at --threads=1 and --threads=4 (same seed)..."
-    for t in 1 4; do
+    echo "re-running at --threads=1 and --threads=8 (same seed)..."
+    for t in 1 8; do
       "${bin}" --replications=2 --threads="${t}" \
         --trace="${WORK}/${name}.trace_t${t}.json" \
         --metrics="${WORK}/${name}.metrics_t${t}.csv" > /dev/null
     done
-    cmp "${WORK}/${name}.trace_t1.json" "${WORK}/${name}.trace_t4.json" \
+    cmp "${WORK}/${name}.trace_t1.json" "${WORK}/${name}.trace_t8.json" \
       || { echo "error: trace differs across --threads" >&2; exit 1; }
-    cmp "${WORK}/${name}.metrics_t1.csv" "${WORK}/${name}.metrics_t4.csv" \
+    cmp "${WORK}/${name}.metrics_t1.csv" "${WORK}/${name}.metrics_t8.csv" \
       || { echo "error: metrics differ across --threads" >&2; exit 1; }
-    echo "determinism OK: exports byte-identical at --threads=1 and 4"
+    echo "determinism OK: exports byte-identical at --threads=1 and 8"
   fi
 }
 
@@ -222,15 +222,15 @@ diff -u tests/data/trace_analyze_kv_seed77.txt "${WORK}/kv77.analysis.txt" \
 echo "trace_analyze OK: output matches tests/data/trace_analyze_kv_seed77.txt"
 
 if [[ "${CHECK_DETERMINISM:-0}" != "0" ]]; then
-  echo "re-running causal exports at --threads=4 (same seed)..."
-  "${kv_bin}" --replications=1 --threads=4 --seed=77 \
-    --trace="${WORK}/kv77.trace_t4.json" \
-    --trace-summary="${WORK}/kv77.summary_t4.csv" > /dev/null
-  cmp "${kv_trace}" "${WORK}/kv77.trace_t4.json" \
+  echo "re-running causal exports at --threads=8 (same seed)..."
+  "${kv_bin}" --replications=1 --threads=8 --seed=77 \
+    --trace="${WORK}/kv77.trace_t8.json" \
+    --trace-summary="${WORK}/kv77.summary_t8.csv" > /dev/null
+  cmp "${kv_trace}" "${WORK}/kv77.trace_t8.json" \
     || { echo "error: causal trace differs across --threads" >&2; exit 1; }
-  cmp "${kv_summary}" "${WORK}/kv77.summary_t4.csv" \
+  cmp "${kv_summary}" "${WORK}/kv77.summary_t8.csv" \
     || { echo "error: trace summary differs across --threads" >&2; exit 1; }
-  echo "determinism OK: causal trace + summary byte-identical at --threads=1 and 4"
+  echo "determinism OK: causal trace + summary byte-identical at --threads=1 and 8"
 fi
 
 echo "OK: trace and metrics exports validate"

@@ -15,7 +15,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${OUT:-BENCH_engine.json}"
-FILTER="${FILTER:-SchedulerEventThroughput|SchedulerCancelChurn|SchedulerResumeLaterHops|FairShareManyJobs|ParallelSweep}"
+FILTER="${FILTER:-SchedulerEventThroughput|SchedulerCancelChurn|SchedulerResumeLaterHops|SchedulerDistinctTimes|SchedulerShortDelayServing|FairShareManyJobs|ParallelSweep}"
 REPS="${REPS:-5}"
 
 BIN="${BUILD_DIR}/bench/bench_engine_micro"
