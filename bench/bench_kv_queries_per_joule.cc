@@ -41,6 +41,7 @@ struct CellResult {
   double p99_lat_ms = 0;
   double power_w = 0;
   double queries_per_joule = 0;
+  double mj_per_query = 0;  // attributed, from the energy ledger
   obs::TraceLog trace;
   obs::MetricsSeries metrics;
   obs::EnergyLedger ledger;
@@ -83,7 +84,10 @@ CellResult RunCell(const Cell& cell, Rng& root, bool want_trace,
   res.queries_per_joule = r.queries_per_joule;
   if (want_trace || want_summary) res.trace = tracer.TakeLog();
   if (want_metrics) res.metrics = metrics.TakeSeries();
-  if (want_summary) res.ledger = energy.TakeLedger();
+  if (want_summary) {
+    res.ledger = energy.TakeLedger();
+    res.mj_per_query = bench::MeanRequestMillijoules(res.ledger);
+  }
   return res;
 }
 
@@ -122,20 +126,29 @@ int main(int argc, char** argv) {
           .count();
 
   TextTable table("FAWN-style key-value serving (90% GET, 1 KB values)");
-  table.SetHeader({"Deployment", "Offered qps", "Achieved", "Mean lat ms",
-                   "p99 lat ms", "Power W", "Queries/J"});
+  // The attributed-energy column rides along when the energy ledger is
+  // being filled (--trace-summary).
+  std::vector<std::string> header{"Deployment",  "Offered qps", "Achieved",
+                                  "Mean lat ms", "p99 lat ms",  "Power W",
+                                  "Queries/J"};
+  if (want_summary) header.push_back("mJ/query");
+  table.SetHeader(header);
   for (std::size_t c = 0; c < cells.size(); ++c) {
     const Cell& cell = cells[c];
     if (cell.failover) continue;
     const auto& reps = sweep[c];
-    table.AddRow({cell.edison ? "10x Edison" : "1x Dell R620",
-                  TextTable::Num(cell.qps, 0),
-                  FormatMeanCI(Over(reps, &CellResult::achieved_qps), 0),
-                  FormatMeanCI(Over(reps, &CellResult::mean_lat_ms), 2),
-                  FormatMeanCI(Over(reps, &CellResult::p99_lat_ms), 2),
-                  FormatMeanCI(Over(reps, &CellResult::power_w), 1),
-                  FormatMeanCI(Over(reps, &CellResult::queries_per_joule),
-                               0)});
+    std::vector<std::string> row{
+        cell.edison ? "10x Edison" : "1x Dell R620",
+        TextTable::Num(cell.qps, 0),
+        FormatMeanCI(Over(reps, &CellResult::achieved_qps), 0),
+        FormatMeanCI(Over(reps, &CellResult::mean_lat_ms), 2),
+        FormatMeanCI(Over(reps, &CellResult::p99_lat_ms), 2),
+        FormatMeanCI(Over(reps, &CellResult::power_w), 1),
+        FormatMeanCI(Over(reps, &CellResult::queries_per_joule), 0)};
+    if (want_summary) {
+      row.push_back(FormatMeanCI(Over(reps, &CellResult::mj_per_query), 2));
+    }
+    table.AddRow(row);
   }
   table.Print();
 

@@ -38,6 +38,7 @@ struct CellResult {
   double db_ms = 0;
   double cache_ms = 0;
   double total_ms = 0;
+  double mj_per_req = 0;  // attributed, from the energy ledger
   obs::TraceLog trace;
   obs::MetricsSeries metrics;
   obs::EnergyLedger ledger;
@@ -62,11 +63,16 @@ CellResult RunCell(const Cell& cell, Rng& root, bool want_trace,
   const web::OpenLoopReport r =
       exp.MeasureOpenLoop(web::HeavyMix(), cell.rate,
                           bench::MeasureWindow());
-  CellResult res{1000 * r.db_delay.mean(), 1000 * r.cache_delay.mean(),
-                 1000 * r.total_delay.mean()};
+  CellResult res;
+  res.db_ms = 1000 * r.db_delay.mean();
+  res.cache_ms = 1000 * r.cache_delay.mean();
+  res.total_ms = 1000 * r.total_delay.mean();
   if (want_trace || want_summary) res.trace = tracer.TakeLog();
   if (want_metrics) res.metrics = metrics.TakeSeries();
-  if (want_summary) res.ledger = energy.TakeLedger();
+  if (want_summary) {
+    res.ledger = energy.TakeLedger();
+    res.mj_per_req = bench::MeanRequestMillijoules(res.ledger);
+  }
   return res;
 }
 
@@ -99,8 +105,12 @@ int main(int argc, char** argv) {
 
   TextTable table(
       "Table 7: delay decomposition in ms, (Edison, Dell) per cell");
-  table.SetHeader({"# Request/s", "Database delay", "Cache delay",
-                   "Total"});
+  // The attributed-energy column rides along when the energy ledger is
+  // being filled (--trace-summary).
+  std::vector<std::string> header{"# Request/s", "Database delay",
+                                  "Cache delay", "Total"};
+  if (want_summary) header.push_back("mJ/req");
+  table.SetHeader(header);
 
   int cell_idx = 0;
   for (double rate : rates) {
@@ -116,9 +126,12 @@ int main(int argc, char** argv) {
       return "(" + TextTable::Num(mean(edison_reps, member), 2) + ", " +
              TextTable::Num(mean(dell_reps, member), 2) + ")";
     };
-    table.AddRow({TextTable::Num(rate, 0), pair(&CellResult::db_ms),
-                  pair(&CellResult::cache_ms),
-                  pair(&CellResult::total_ms)});
+    std::vector<std::string> row{TextTable::Num(rate, 0),
+                                 pair(&CellResult::db_ms),
+                                 pair(&CellResult::cache_ms),
+                                 pair(&CellResult::total_ms)};
+    if (want_summary) row.push_back(pair(&CellResult::mj_per_req));
+    table.AddRow(row);
   }
   table.Print();
   MaybeExportCsv(table, "table7");

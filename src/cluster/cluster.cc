@@ -39,10 +39,11 @@ std::vector<hw::ServerNode*> Cluster::AllNodes() const {
 }
 
 hw::ServerNode* Cluster::node(int id) const {
-  for (const auto& node : nodes_) {
-    if (node->id() == id) return node.get();
-  }
-  return nullptr;
+  // Ids are handed out densely in creation order, so the id doubles as the
+  // index — no scan.
+  if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size()) return nullptr;
+  assert(nodes_[static_cast<std::size_t>(id)]->id() == id);
+  return nodes_[static_cast<std::size_t>(id)].get();
 }
 
 std::vector<hw::ServerNode*> Cluster::SelectRoles(

@@ -225,6 +225,7 @@ KvReport KvExperiment::Measure(double target_qps, Duration measure) {
   report.store_power = spent / measure;
   report.queries_per_joule =
       spent > 0 ? static_cast<double>(window.done) / spent : 0;
+  report.executed_events = tb.sched.executed_events();
   return report;
 }
 
@@ -285,6 +286,7 @@ KvReport KvExperiment::MeasureWithFailover(double target_qps,
   report.store_power = spent / measure;
   report.queries_per_joule =
       spent > 0 ? static_cast<double>(window.done) / spent : 0;
+  report.executed_events = tb.sched.executed_events();
   return report;
 }
 

@@ -54,6 +54,9 @@ struct KvReport {
   Duration p99_latency = 0;
   Watts store_power = 0;       // storage-node tier only, like FAWN
   double queries_per_joule = 0;
+  // Engine events the whole replication executed (scheduler counter at
+  // drain); bench_scale_macro divides by wall-clock for events/s.
+  std::uint64_t executed_events = 0;
 };
 
 class KvExperiment {

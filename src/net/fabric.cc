@@ -1,6 +1,7 @@
 #include "net/fabric.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 
 #include "obs/metrics.h"
@@ -13,9 +14,27 @@ namespace {
 // Loopback cost: in-kernel copy, effectively instant at this fidelity.
 constexpr Duration kLoopbackLatency = Microseconds(20);
 
-sim::Process ServeOne(sim::FairShareServer* server, double demand) {
-  co_await server->Serve(demand);
-}
+// Awaits service of the same demand on every collected segment
+// concurrently; the slowest segment's completion resumes the awaiting
+// coroutine. Lives in the Transfer coroutine frame across the suspension,
+// so the join state needs no heap and no spawned helper processes.
+struct SegmentJoin {
+  std::array<sim::FairShareServer*, 3> segments;
+  int count = 0;
+  double demand = 0;
+  std::uint32_t remaining = 0;
+
+  void Add(sim::FairShareServer* s) { segments[count++] = s; }
+
+  bool await_ready() const { return count == 0; }
+  void await_suspend(std::coroutine_handle<> h) {
+    remaining = static_cast<std::uint32_t>(count);
+    for (int i = 0; i < count; ++i) {
+      segments[i]->ServeJoined(demand, &remaining, h);
+    }
+  }
+  void await_resume() const {}
+};
 
 }  // namespace
 
@@ -23,59 +42,106 @@ Fabric::Fabric(sim::Scheduler* sched) : sched_(sched) {
   assert(sched != nullptr);
 }
 
-void Fabric::AddNode(hw::ServerNode* node, const std::string& group) {
-  assert(node != nullptr);
-  const bool inserted =
-      endpoints_.emplace(node->id(), Endpoint{node, group}).second;
-  assert(inserted && "duplicate node id in fabric");
-  (void)inserted;
+int Fabric::InternGroup(const std::string& name) {
+  const int found = FindGroup(name);
+  if (found >= 0) return found;
+  group_names_.push_back(name);
+  const int id = static_cast<int>(group_names_.size()) - 1;
+  RebuildLinkTables();  // G changed; tables are G×G
+  return id;
 }
 
-Fabric::GroupKey Fabric::MakeKey(const std::string& a,
-                                 const std::string& b) {
-  return a <= b ? GroupKey{a, b} : GroupKey{b, a};
+int Fabric::FindGroup(const std::string& name) const {
+  // Linear scan: a fabric has a handful of rooms/racks, and this only runs
+  // at topology-build time or in cold query paths.
+  for (std::size_t i = 0; i < group_names_.size(); ++i) {
+    if (group_names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Fabric::AddNode(hw::ServerNode* node, const std::string& group) {
+  assert(node != nullptr);
+  const int id = node->id();
+  assert(id >= 0 && "fabric node ids must be non-negative");
+  if (static_cast<std::size_t>(id) >= endpoints_.size()) {
+    endpoints_.resize(static_cast<std::size_t>(id) + 1);
+  }
+  assert(endpoints_[id].node == nullptr && "duplicate node id in fabric");
+  endpoints_[static_cast<std::size_t>(id)] =
+      Endpoint{node, InternGroup(group)};
 }
 
 void Fabric::SetGroupLink(const std::string& a, const std::string& b,
                           BytesPerSecond bandwidth, Duration latency) {
   assert(bandwidth > 0);
-  GroupLink link;
-  link.forward = std::make_unique<sim::FairShareServer>(
+  // Canonical pair order is lexicographic by NAME (not by interned id):
+  // published gauge names and channel direction must not depend on the
+  // order groups happened to be interned.
+  const std::string& ka = a <= b ? a : b;
+  const std::string& kb = a <= b ? b : a;
+  const int ga = InternGroup(ka);
+  const int gb = InternGroup(kb);
+  GroupLink* link = FindLink(ga, gb);
+  if (link == nullptr) {
+    links_.push_back(std::make_unique<GroupLink>());
+    link = links_.back().get();
+    link->a = ga;
+    link->b = gb;
+  }
+  link->forward = std::make_unique<sim::FairShareServer>(
       sched_, bandwidth, bandwidth, "link:" + a + ">" + b);
-  link.backward = std::make_unique<sim::FairShareServer>(
+  link->backward = std::make_unique<sim::FairShareServer>(
       sched_, bandwidth, bandwidth, "link:" + b + ">" + a);
-  link.latency = latency;
-  links_[MakeKey(a, b)] = std::move(link);
+  link->latency = latency;
+  RebuildLinkTables();
+}
+
+Fabric::GroupLink* Fabric::FindLink(int a, int b) {
+  for (auto& link : links_) {
+    if ((link->a == a && link->b == b) || (link->a == b && link->b == a)) {
+      return link.get();
+    }
+  }
+  return nullptr;
+}
+
+const Fabric::GroupLink* Fabric::FindLink(int a, int b) const {
+  return const_cast<Fabric*>(this)->FindLink(a, b);
+}
+
+void Fabric::RebuildLinkTables() {
+  const std::size_t g = group_names_.size();
+  channels_.assign(g * g, nullptr);
+  link_latencies_.assign(g * g, 0);
+  for (const auto& link : links_) {
+    const std::size_t fwd = static_cast<std::size_t>(link->a) * g +
+                            static_cast<std::size_t>(link->b);
+    const std::size_t bwd = static_cast<std::size_t>(link->b) * g +
+                            static_cast<std::size_t>(link->a);
+    channels_[fwd] = link->forward.get();
+    channels_[bwd] = link->backward.get();
+    link_latencies_[fwd] = link->latency;
+    link_latencies_[bwd] = link->latency;
+  }
 }
 
 bool Fabric::HasNode(int node_id) const {
-  return endpoints_.count(node_id) > 0;
+  return node_id >= 0 &&
+         static_cast<std::size_t>(node_id) < endpoints_.size() &&
+         endpoints_[static_cast<std::size_t>(node_id)].node != nullptr;
 }
 
 const Fabric::Endpoint& Fabric::Lookup(int node_id) const {
-  auto it = endpoints_.find(node_id);
-  assert(it != endpoints_.end() && "node not registered in fabric");
-  return it->second;
+  assert(HasNode(node_id) && "node not registered in fabric");
+  return endpoints_[static_cast<std::size_t>(node_id)];
 }
 
 const std::string& Fabric::GroupOf(int node_id) const {
-  return Lookup(node_id).group;
+  return group_names_[static_cast<std::size_t>(Lookup(node_id).group)];
 }
 
-const Fabric::GroupLink* Fabric::FindLink(const std::string& a,
-                                          const std::string& b) const {
-  auto it = links_.find(MakeKey(a, b));
-  return it == links_.end() ? nullptr : &it->second;
-}
-
-sim::FairShareServer* Fabric::LinkChannel(
-    const std::string& src_group, const std::string& dst_group) const {
-  const GroupLink* link = FindLink(src_group, dst_group);
-  if (link == nullptr) return nullptr;
-  // forward serves the lexicographically-ordered direction.
-  const bool is_forward = MakeKey(src_group, dst_group).first == src_group;
-  return is_forward ? link->forward.get() : link->backward.get();
-}
+int Fabric::GroupIdOf(int node_id) const { return Lookup(node_id).group; }
 
 Duration Fabric::Latency(int src_id, int dst_id) const {
   if (src_id == dst_id) return kLoopbackLatency;
@@ -84,8 +150,9 @@ Duration Fabric::Latency(int src_id, int dst_id) const {
   Duration latency = src.node->nic().endpoint_latency() +
                      dst.node->nic().endpoint_latency();
   if (src.group != dst.group) {
-    const GroupLink* link = FindLink(src.group, dst.group);
-    if (link != nullptr) latency += link->latency;
+    latency += link_latencies_[static_cast<std::size_t>(src.group) *
+                                   group_names_.size() +
+                               static_cast<std::size_t>(dst.group)];
   }
   return latency;
 }
@@ -101,26 +168,29 @@ sim::Task<void> Fabric::Transfer(int src_id, int dst_id, Bytes bytes) {
   src.node->nic().AddBytesSent(bytes);
   dst.node->nic().AddBytesReceived(bytes);
 
-  co_await sim::Delay(*sched_, Latency(src_id, dst_id));
-
-  std::vector<sim::FairShareServer*> segments;
-  segments.push_back(&src.node->nic().tx());
+  Duration latency = src.node->nic().endpoint_latency() +
+                     dst.node->nic().endpoint_latency();
+  sim::FairShareServer* link = nullptr;
   if (src.group != dst.group) {
-    sim::FairShareServer* link = LinkChannel(src.group, dst.group);
-    if (link != nullptr) segments.push_back(link);
+    const std::size_t idx =
+        static_cast<std::size_t>(src.group) * group_names_.size() +
+        static_cast<std::size_t>(dst.group);
+    link = channels_[idx];
+    latency += link_latencies_[idx];
   }
-  segments.push_back(&dst.node->nic().rx());
+  co_await sim::Delay(*sched_, latency);
 
   // The flow occupies every segment concurrently; it completes when the
   // slowest segment has pumped all bytes. This approximates min-rate
-  // fair-shared flows without per-chunk simulation.
-  const double demand = static_cast<double>(bytes);
-  std::vector<sim::ProcessRef> refs;
-  refs.reserve(segments.size());
-  for (auto* segment : segments) {
-    refs.push_back(sim::Spawn(*sched_, ServeOne(segment, demand)));
-  }
-  for (auto& ref : refs) co_await ref.Join();
+  // fair-shared flows without per-chunk simulation. At most three segments
+  // (src NIC tx, aggregate link channel, dst NIC rx) — joined inline, so
+  // the steady-state path allocates nothing here.
+  SegmentJoin join;
+  join.demand = static_cast<double>(bytes);
+  join.Add(&src.node->nic().tx());
+  if (link != nullptr) join.Add(link);
+  join.Add(&dst.node->nic().rx());
+  co_await join;
 }
 
 sim::Task<void> Fabric::Transfer(int src_id, int dst_id, Bytes bytes,
@@ -136,7 +206,10 @@ sim::Task<void> Fabric::RoundTrip(int src_id, int dst_id) {
 
 double Fabric::GroupLinkBusyFraction(const std::string& a,
                                      const std::string& b) const {
-  const GroupLink* link = FindLink(a, b);
+  const int ga = FindGroup(a);
+  const int gb = FindGroup(b);
+  if (ga < 0 || gb < 0) return 0.0;
+  const GroupLink* link = FindLink(ga, gb);
   if (link == nullptr) return 0.0;
   return std::max(link->forward->busy_fraction(),
                   link->backward->busy_fraction());
@@ -144,12 +217,23 @@ double Fabric::GroupLinkBusyFraction(const std::string& a,
 
 void Fabric::PublishMetrics(obs::MetricsRegistry* registry,
                             const std::string& prefix) {
-  // links_ is an ordered map, so probe registration order (and therefore
-  // CSV column order) is deterministic.
-  for (auto& [key, link] : links_) {
-    GroupLink* l = &link;
+  // Probe registration order (and therefore CSV column order) must stay
+  // deterministic and name-sorted, exactly as when links_ was an ordered
+  // map keyed by name pair.
+  std::vector<GroupLink*> sorted;
+  sorted.reserve(links_.size());
+  for (const auto& link : links_) sorted.push_back(link.get());
+  std::sort(sorted.begin(), sorted.end(),
+            [this](const GroupLink* x, const GroupLink* y) {
+              const std::string& xa = group_names_[x->a];
+              const std::string& ya = group_names_[y->a];
+              if (xa != ya) return xa < ya;
+              return group_names_[x->b] < group_names_[y->b];
+            });
+  for (GroupLink* l : sorted) {
     registry->AddGauge(
-        prefix + ".link." + key.first + "-" + key.second, [l] {
+        prefix + ".link." + group_names_[l->a] + "-" + group_names_[l->b],
+        [l] {
           return std::max(l->forward->busy_fraction(),
                           l->backward->busy_fraction());
         });

@@ -11,10 +11,16 @@
 // A transfer completes when its last byte clears the slowest path segment;
 // each segment is an independent fair-share server, which reproduces
 // per-flow bandwidth sharing and aggregate bottleneck saturation.
+//
+// Layout: group names are interned into dense integer ids at topology-build
+// time; endpoints live in a flat vector indexed by node id (sparse ids leave
+// holes) and the directed link channel / latency for any group pair is a
+// G×G table lookup. The steady-state Transfer path therefore does no string
+// hashing, no ordered-map walks, and no heap allocation.
 #ifndef WIMPY_NET_FABRIC_H_
 #define WIMPY_NET_FABRIC_H_
 
-#include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -51,6 +57,11 @@ class Fabric {
   bool HasNode(int node_id) const;
   const std::string& GroupOf(int node_id) const;
 
+  // Dense interned id of the node's group (assigned in first-seen order at
+  // topology-build time). Id-indexed callers (KV routing tables, per-node
+  // probes) key off this instead of the group name.
+  int GroupIdOf(int node_id) const;
+
   // One-way propagation latency between two nodes: both endpoint latencies
   // plus the group link's latency when crossing groups. Loopback is ~free.
   Duration Latency(int src_id, int dst_id) const;
@@ -85,28 +96,38 @@ class Fabric {
 
  private:
   struct Endpoint {
-    hw::ServerNode* node;
-    std::string group;
+    hw::ServerNode* node = nullptr;
+    int group = -1;  // interned group id
   };
   struct GroupLink {
+    int a = -1;  // canonical pair: group_names_[a] <= group_names_[b]
+    int b = -1;
     std::unique_ptr<sim::FairShareServer> forward;   // a->b
     std::unique_ptr<sim::FairShareServer> backward;  // b->a
-    Duration latency;
+    Duration latency = 0;
   };
-  using GroupKey = std::pair<std::string, std::string>;
 
-  static GroupKey MakeKey(const std::string& a, const std::string& b);
+  // Returns the dense id for a group name, interning it on first use.
+  int InternGroup(const std::string& name);
+  // Id of an already-interned group, or -1.
+  int FindGroup(const std::string& name) const;
   const Endpoint& Lookup(int node_id) const;
-  // Returns the directed link channel for src_group -> dst_group, or
-  // nullptr when unconstrained.
-  sim::FairShareServer* LinkChannel(const std::string& src_group,
-                                    const std::string& dst_group) const;
-  const GroupLink* FindLink(const std::string& a,
-                            const std::string& b) const;
+  GroupLink* FindLink(int a, int b);
+  const GroupLink* FindLink(int a, int b) const;
+  // Re-derives the G×G directed channel/latency tables from links_.
+  // Called whenever a group or link is added — build time only.
+  void RebuildLinkTables();
 
   sim::Scheduler* sched_;
-  std::map<int, Endpoint> endpoints_;
-  std::map<GroupKey, GroupLink> links_;
+  std::vector<std::string> group_names_;  // indexed by group id
+  std::vector<Endpoint> endpoints_;       // indexed by node id, with holes
+  // unique_ptr so gauge closures and the flat tables can hold stable
+  // pointers across vector growth and link replacement.
+  std::vector<std::unique_ptr<GroupLink>> links_;
+  // Directed [src_group * G + dst_group] tables; nullptr / 0 where the
+  // pair has no configured aggregate link.
+  std::vector<sim::FairShareServer*> channels_;
+  std::vector<Duration> link_latencies_;
 };
 
 }  // namespace wimpy::net

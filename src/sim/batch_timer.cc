@@ -79,8 +79,8 @@ void BatchTimerQueue::CheckInvariants() const {
   assert(first_token_ + fifo_.size() == next_token_);
   // No double accounting: live_ must equal the resident live closures.
   std::size_t live = 0;
-  for (const Entry& e : fifo_) {
-    if (e.fn) ++live;
+  for (std::size_t i = 0; i < fifo_.size(); ++i) {
+    if (fifo_[i].fn) ++live;
   }
   assert(live == live_);
   // Exactly one engine event is pending whenever entries are resident

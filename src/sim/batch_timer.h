@@ -30,10 +30,10 @@
 #define WIMPY_SIM_BATCH_TIMER_H_
 
 #include <cstdint>
-#include <deque>
 
 #include "common/units.h"
 #include "sim/event_fn.h"
+#include "sim/ring_buffer.h"
 #include "sim/scheduler.h"
 
 namespace wimpy::sim {
@@ -83,7 +83,7 @@ class BatchTimerQueue {
 
   Scheduler* sched_;
   Duration delay_;
-  std::deque<Entry> fifo_;  // fifo_[i] holds token first_token_ + i
+  RingDeque<Entry> fifo_;  // fifo_[i] holds token first_token_ + i
   Token first_token_ = 1;
   Token next_token_ = 1;
   std::size_t live_ = 0;

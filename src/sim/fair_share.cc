@@ -69,7 +69,8 @@ void FairShareServer::SetRates(double capacity, double per_job_cap) {
   Reschedule();
 }
 
-void FairShareServer::AddJob(double demand, std::coroutine_handle<> handle) {
+void FairShareServer::AddJob(double demand, std::coroutine_handle<> handle,
+                             std::uint32_t* countdown) {
   assert(demand > 0);
   Advance();
   // Rebase the aggregate counter whenever the server is empty: no
@@ -84,8 +85,15 @@ void FairShareServer::AddJob(double demand, std::coroutine_handle<> handle) {
   job.finish_threshold = served_per_job_ + demand;
   job.tolerance = std::max(1.0, demand) * kRelativeTolerance;
   job.handle = handle;
+  job.countdown = countdown;
   jobs_.push(job);
   Reschedule();
+}
+
+void FairShareServer::FinishJob(const Job& job) {
+  if (job.countdown == nullptr || --*job.countdown == 0) {
+    sched_->ResumeLater(job.handle);
+  }
 }
 
 void FairShareServer::Advance() {
@@ -138,13 +146,13 @@ void FairShareServer::OnCompletionEvent() {
   // can live-lock when the counter is so large that the residue exceeds
   // the tolerance but is below one representable step of simulated time.
   if (!jobs_.empty()) {
-    sched_->ResumeLater(jobs_.top().handle);
+    FinishJob(jobs_.top());
     jobs_.pop();
   }
   while (!jobs_.empty() &&
          jobs_.top().finish_threshold - served_per_job_ <=
              jobs_.top().tolerance) {
-    sched_->ResumeLater(jobs_.top().handle);
+    FinishJob(jobs_.top());
     jobs_.pop();
   }
   if (jobs_.empty()) served_per_job_ = 0.0;

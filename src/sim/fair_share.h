@@ -62,6 +62,17 @@ class FairShareServer {
     return Awaiter{this, demand};
   }
 
+  // Submits `demand` as one leg of a multi-segment join (see
+  // net::Fabric::Transfer): when the job completes, `*countdown` is
+  // decremented and `handle` is resumed only when it reaches zero — the
+  // slowest segment wakes the awaiting coroutine. `*countdown` must
+  // outlive all joined jobs (it lives in the awaiting coroutine's frame).
+  // Completion is always asynchronous, via the same-time resume lane.
+  void ServeJoined(double demand, std::uint32_t* countdown,
+                   std::coroutine_handle<> handle) {
+    AddJob(demand, handle, countdown);
+  }
+
   // Instantaneous per-job service rate for the current job count.
   double CurrentRatePerJob() const;
 
@@ -98,6 +109,9 @@ class FairShareServer {
     double finish_threshold;
     double tolerance;  // completion slack, relative to original demand
     std::coroutine_handle<> handle;
+    // Non-null for joined jobs: decrement on completion, resume `handle`
+    // only at zero.
+    std::uint32_t* countdown = nullptr;
   };
   struct JobOrder {
     bool operator()(const Job& a, const Job& b) const {
@@ -105,7 +119,10 @@ class FairShareServer {
     }
   };
 
-  void AddJob(double demand, std::coroutine_handle<> handle);
+  void AddJob(double demand, std::coroutine_handle<> handle,
+              std::uint32_t* countdown = nullptr);
+  // Resumes the job's awaiter (or decrements its join countdown).
+  void FinishJob(const Job& job);
   // Integrates the aggregate service counter from last_update_ to now.
   void Advance();
   // Recomputes the shared rate, fires the usage listener if the busy

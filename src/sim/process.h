@@ -21,12 +21,15 @@
 #ifndef WIMPY_SIM_PROCESS_H_
 #define WIMPY_SIM_PROCESS_H_
 
+#include <array>
 #include <cassert>
 #include <coroutine>
+#include <cstdint>
 #include <cstdlib>
 #include <memory>
 #include <vector>
 
+#include "sim/frame_pool.h"
 #include "sim/scheduler.h"
 
 namespace wimpy::sim {
@@ -34,11 +37,35 @@ namespace wimpy::sim {
 namespace internal_process {
 
 // Shared between the running coroutine and any ProcessRef handles.
+// Joiners nearly always number 0 or 1 (a Transfer joining its segment
+// pumps, a parent joining a child), so the first two live inline and
+// only pathological fan-in touches the overflow vector — keeping the
+// spawn/join path allocation-free.
 struct ProcessState {
   Scheduler* sched = nullptr;
   bool spawned = false;
   bool done = false;
-  std::vector<std::coroutine_handle<>> joiners;
+  std::uint8_t inline_joiners = 0;
+  std::array<std::coroutine_handle<>, 2> joiners{};
+  std::vector<std::coroutine_handle<>> overflow_joiners;
+
+  void AddJoiner(std::coroutine_handle<> h) {
+    if (inline_joiners < joiners.size()) {
+      joiners[inline_joiners++] = h;
+    } else {
+      overflow_joiners.push_back(h);
+    }
+  }
+
+  // Wakes joiners in arrival order (inline slots filled first).
+  void WakeJoiners() {
+    for (std::uint8_t i = 0; i < inline_joiners; ++i) {
+      sched->ResumeLater(joiners[i]);
+    }
+    inline_joiners = 0;
+    for (auto joiner : overflow_joiners) sched->ResumeLater(joiner);
+    overflow_joiners.clear();
+  }
 };
 
 }  // namespace internal_process
@@ -62,7 +89,7 @@ class ProcessRef {
         return state == nullptr || state->done;
       }
       void await_suspend(std::coroutine_handle<> h) {
-        state->joiners.push_back(h);
+        state->AddJoiner(h);
       }
       void await_resume() const noexcept {}
     };
@@ -77,8 +104,17 @@ class ProcessRef {
 class Process {
  public:
   struct promise_type {
+    // State and frame both recycle through the frame pool: the shared
+    // state's control block via allocate_shared, the coroutine frame via
+    // the pooled operator new below.
     std::shared_ptr<internal_process::ProcessState> state =
-        std::make_shared<internal_process::ProcessState>();
+        std::allocate_shared<internal_process::ProcessState>(
+            PoolAllocator<internal_process::ProcessState>{});
+
+    static void* operator new(std::size_t bytes) { return PoolAlloc(bytes); }
+    static void operator delete(void* p, std::size_t bytes) noexcept {
+      PoolFree(p, bytes);
+    }
 
     Process get_return_object() {
       return Process(
@@ -91,9 +127,7 @@ class Process {
       void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
         auto state = h.promise().state;  // keep alive past destroy()
         state->done = true;
-        Scheduler* sched = state->sched;
-        for (auto joiner : state->joiners) sched->ResumeLater(joiner);
-        state->joiners.clear();
+        state->WakeJoiners();
         h.destroy();
       }
       void await_resume() const noexcept {}

@@ -10,8 +10,8 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 
+#include "sim/ring_buffer.h"
 #include "sim/scheduler.h"
 
 namespace wimpy::sim {
@@ -69,7 +69,7 @@ class Semaphore {
   std::int64_t available_;
   std::int64_t in_use_ = 0;
   std::size_t peak_queue_ = 0;
-  std::deque<Waiter> waiters_;
+  RingDeque<Waiter> waiters_;  // steady-state allocation-free FIFO
 };
 
 // RAII scoped permit block for coroutine code paths that may exit early:

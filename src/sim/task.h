@@ -25,12 +25,22 @@
 #include <optional>
 #include <utility>
 
+#include "sim/frame_pool.h"
+
 namespace wimpy::sim {
 
 namespace internal_task {
 
 struct PromiseBase {
   std::coroutine_handle<> continuation;
+
+  // Task frames are the model layer's steady-state allocation (one per
+  // co_await'd subroutine); recycle them through the thread-local frame
+  // pool so the serve path is allocation-free after warm-up.
+  static void* operator new(std::size_t bytes) { return PoolAlloc(bytes); }
+  static void operator delete(void* p, std::size_t bytes) noexcept {
+    PoolFree(p, bytes);
+  }
 
   struct FinalAwaiter {
     bool await_ready() const noexcept { return false; }

@@ -1,6 +1,7 @@
 #include "web/service.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <memory>
 
@@ -273,19 +274,29 @@ struct RunWindow {
 };
 
 // Windows a measurement run records into; a sample lands in the window
-// containing its start time (failure runs use two half-windows).
-using Windows = std::vector<RunWindow*>;
+// containing its start time (failure runs use two half-windows). At most
+// two windows ever exist, so this is a fixed two-slot set: every spawned
+// connection takes its own copy by value without touching the heap.
+struct Windows {
+  Windows(std::initializer_list<RunWindow*> ws) {
+    for (RunWindow* w : ws) slots[count++] = w;
+  }
+  std::array<RunWindow*, 2> slots{};
+  int count = 0;
+};
 
 RunWindow* FindWindow(const Windows& windows, SimTime t) {
-  for (RunWindow* w : windows) {
-    if (w->InWindow(t)) return w;
+  for (int i = 0; i < windows.count; ++i) {
+    if (windows.slots[i]->InWindow(t)) return windows.slots[i];
   }
   return nullptr;
 }
 
 SimTime WindowsEnd(const Windows& windows) {
   SimTime end = 0;
-  for (RunWindow* w : windows) end = std::max(end, w->measure_end);
+  for (int i = 0; i < windows.count; ++i) {
+    end = std::max(end, windows.slots[i]->measure_end);
+  }
   return end;
 }
 
@@ -494,6 +505,7 @@ LevelReport WebExperiment::MeasureClosedLoop(const WorkloadMix& mix,
                 static_cast<double>(window.attempts);
   report.mean_response = window.response.mean();
   report.middle_tier_power = window_joules / measure;
+  report.executed_events = tb.sched.executed_events();
 
   auto mean_of = [](const std::vector<cluster::MetricsSample>& samples,
                     auto member) {
@@ -629,6 +641,7 @@ OpenLoopReport WebExperiment::MeasureOpenLoop(const WorkloadMix& mix,
           : static_cast<double>(window.errors) /
                 static_cast<double>(window.attempts);
   report.client_delay = window.client_delay;
+  report.executed_events = tb.sched.executed_events();
   CollectServerDelays(tb, &report);
   return report;
 }

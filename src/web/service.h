@@ -87,6 +87,9 @@ struct LevelReport {
   OnlineStats db_delay;
   OnlineStats cache_delay;
   OnlineStats total_delay;
+  // Engine events the whole replication executed (scheduler counter at
+  // drain); bench_scale_macro divides by wall-clock for events/s.
+  std::uint64_t executed_events = 0;
 };
 
 // Result of an open-loop delay-distribution run.
@@ -99,6 +102,7 @@ struct OpenLoopReport {
   OnlineStats cache_delay;
   OnlineStats total_delay;     // server-side, excludes reconnect delay
   OnlineStats client_delay;    // includes SYN backoff
+  std::uint64_t executed_events = 0;
 };
 
 class WebExperiment {

@@ -11,6 +11,12 @@
 #   tools/check_bench_regression.sh
 #   BUILD_DIR=out THRESHOLD_PCT=10 REPS=9 RUNS=3 tools/check_bench_regression.sh
 #   OBS_THRESHOLD_PCT=5 SKIP_OBS_RUN=1 tools/check_bench_regression.sh
+#   SKIP_MACRO=1 MACRO_REPS=3 MACRO_RUNS=2 tools/check_bench_regression.sh
+#
+# After the engine microbenchmarks, the end-to-end macro suite
+# (bench_scale_macro: whole-replication throughput at 10k/100k simulated
+# connections, docs/scale.md) is gated the same way against the committed
+# BENCH_macro.json; set SKIP_MACRO=1 to skip it.
 #
 # Benchmarks present in only one of the two runs (e.g. newly added ones
 # with no baseline yet) are reported but never fail the check.
@@ -47,11 +53,14 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 BASELINE="${BASELINE:-BENCH_engine.json}"
+MACRO_BASELINE="${MACRO_BASELINE:-BENCH_macro.json}"
 THRESHOLD_PCT="${THRESHOLD_PCT:-20}"
 OBS_THRESHOLD_PCT="${OBS_THRESHOLD_PCT:-2}"
 REPS="${REPS:-5}"
 RUNS="${RUNS:-2}"
 RETRIES="${RETRIES:-2}"
+MACRO_REPS="${MACRO_REPS:-3}"
+MACRO_RUNS="${MACRO_RUNS:-2}"
 
 if [[ ! -f "${BASELINE}" ]]; then
   echo "error: baseline ${BASELINE} not found" >&2
@@ -59,8 +68,9 @@ if [[ ! -f "${BASELINE}" ]]; then
 fi
 
 CURRENT_FILES=()
+MACRO_FILES=()
 RETRY_FILTER="$(mktemp /tmp/bench_retry.XXXXXX)"
-trap 'rm -f "${CURRENT_FILES[@]}" "${RETRY_FILTER}"' EXIT
+trap 'rm -f "${CURRENT_FILES[@]}" "${MACRO_FILES[@]}" "${RETRY_FILTER}"' EXIT
 for run in $(seq "${RUNS}"); do
   echo "== suite invocation ${run}/${RUNS} =="
   f="$(mktemp /tmp/bench_engine.XXXXXX.json)"
@@ -69,9 +79,14 @@ for run in $(seq "${RUNS}"); do
     tools/run_engine_bench.sh
 done
 
+# compare <baseline> <current>... — best-of/host-normalized gate shared by
+# the engine and macro suites; the obs-contract section only engages when
+# its benchmark names are present (i.e. the engine suite).
 compare() {
+  local baseline="$1"
+  shift
   python3 - "${THRESHOLD_PCT}" "${OBS_THRESHOLD_PCT}" "${RETRY_FILTER}" \
-    "${BASELINE}" "${CURRENT_FILES[@]}" <<'EOF'
+    "${baseline}" "$@" <<'EOF'
 import json
 import sys
 
@@ -183,7 +198,7 @@ EOF
 }
 
 attempt=0
-until compare; do
+until compare "${BASELINE}" "${CURRENT_FILES[@]}"; do
   if (( attempt >= RETRIES )); then
     echo "FAIL: regressions persisted after ${RETRIES} targeted re-run(s)."
     exit 1
@@ -196,6 +211,35 @@ until compare; do
   BUILD_DIR="${BUILD_DIR}" OUT="${f}" REPS="${REPS}" \
     FILTER="$(cat "${RETRY_FILTER}")" tools/run_engine_bench.sh
 done
+
+# End-to-end macro gate: whole-replication throughput (1/wall) at 10k and
+# 100k simulated connections vs the committed BENCH_macro.json — the
+# steady-state model-layer performance envelope (docs/scale.md). Same
+# best-of + host-normalized + targeted-retry machinery as above.
+if [[ "${SKIP_MACRO:-0}" == "0" && -f "${MACRO_BASELINE}" ]]; then
+  echo
+  for run in $(seq "${MACRO_RUNS}"); do
+    echo "== macro suite invocation ${run}/${MACRO_RUNS} (SKIP_MACRO=1 to skip) =="
+    f="$(mktemp /tmp/bench_macro.XXXXXX.json)"
+    MACRO_FILES+=("${f}")
+    BUILD_DIR="${BUILD_DIR}" SUITE=macro OUT="${f}" REPS="${MACRO_REPS}" \
+      tools/run_engine_bench.sh
+  done
+  attempt=0
+  until compare "${MACRO_BASELINE}" "${MACRO_FILES[@]}"; do
+    if (( attempt >= RETRIES )); then
+      echo "FAIL: macro regressions persisted after ${RETRIES} targeted re-run(s)."
+      exit 1
+    fi
+    attempt=$((attempt + 1))
+    echo
+    echo "== macro targeted re-run ${attempt}/${RETRIES}: $(cat "${RETRY_FILTER}") =="
+    f="$(mktemp /tmp/bench_macro.XXXXXX.json)"
+    MACRO_FILES+=("${f}")
+    BUILD_DIR="${BUILD_DIR}" SUITE=macro OUT="${f}" REPS="${MACRO_REPS}" \
+      FILTER="$(cat "${RETRY_FILTER}")" tools/run_engine_bench.sh
+  done
+fi
 
 if [[ "${SKIP_OBS_RUN:-0}" == "0" ]]; then
   echo

@@ -17,6 +17,10 @@
 # the output is diffed against the checked-in golden
 # (tests/data/trace_analyze_kv_seed77.txt) — the same golden ctest pins.
 #
+# A fourth section runs bench_scale_macro --determinism at 100k simulated
+# connections (both workloads) at --threads=1 and 8 and requires
+# byte-identical stats + golden-trace prefixes (docs/scale.md).
+#
 # Usage:
 #   cmake -B build -S . && cmake --build build -j
 #   tools/check_trace.sh
@@ -33,7 +37,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 BENCHES=(bench_fig4_7_web_light bench_fig10_11_delay_hist
          bench_fig12_17_mr_timelines)
-for name in "${BENCHES[@]}" bench_kv_queries_per_joule; do
+for name in "${BENCHES[@]}" bench_kv_queries_per_joule bench_scale_macro; do
   if [[ ! -x "${BUILD_DIR}/bench/${name}" ]]; then
     echo "error: ${BUILD_DIR}/bench/${name} not found; build it first:" >&2
     echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
@@ -232,5 +236,24 @@ if [[ "${CHECK_DETERMINISM:-0}" != "0" ]]; then
     || { echo "error: trace summary differs across --threads" >&2; exit 1; }
   echo "determinism OK: causal trace + summary byte-identical at --threads=1 and 8"
 fi
+
+# --- large-N determinism: macro bench at 100k connections ----------------
+# bench_scale_macro --determinism prints per-replication final stats plus a
+# golden-trace prefix, a pure function of (cells, seed, reps). At the macro
+# scale (100k simulated connections, web-heavy and KV workloads) the output
+# must be byte-identical across worker-thread counts — the end-to-end guard
+# that the pooled/interned steady-state model layer (docs/scale.md)
+# preserves the bit-identical-at-any---threads contract.
+macro_bin="${BUILD_DIR}/bench/bench_scale_macro"
+echo "== bench_scale_macro (large-N determinism, 100k connections) =="
+for t in 1 8; do
+  "${macro_bin}" --determinism --connections=100000 --reps=2 --seed=77 \
+    --threads="${t}" > "${WORK}/macro_det_t${t}.txt"
+done
+cmp "${WORK}/macro_det_t1.txt" "${WORK}/macro_det_t8.txt" \
+  || { echo "error: macro determinism output differs across --threads" >&2; \
+       exit 1; }
+echo "determinism OK: 100k-connection stats + trace prefix byte-identical" \
+     "at --threads=1 and 8 ($(wc -l < "${WORK}/macro_det_t1.txt") lines)"
 
 echo "OK: trace and metrics exports validate"

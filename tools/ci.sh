@@ -7,7 +7,13 @@
 #      and the hw profile registry) under TSan, the guard for the
 #      "bit-identical at any --threads" machinery actually being
 #      data-race-free.
-#   2. tools/check_trace.sh — obs export validation: trace-event JSON
+#   2. WIMPY_ASAN smoke — configures/builds a -fsanitize=address,undefined
+#      tree and runs the model-layer tests that exercise the pooled
+#      steady-state request path (coroutine frame pool, ring buffers,
+#      interned-id fabric tables — docs/scale.md). The frame pool disables
+#      itself under ASan so every coroutine frame goes through the real
+#      allocator and gets poisoned/unpoisoned individually.
+#   3. tools/check_trace.sh — obs export validation: trace-event JSON
 #      schema + causal ids + flow arrows, metrics CSV shape, flamegraph
 #      folding, the trace_analyze.py seed-77 golden, and (with
 #      CHECK_DETERMINISM=1) byte-identical exports across --threads.
@@ -18,8 +24,8 @@
 # Usage:
 #   tools/ci.sh
 #   BUILD_DIR=out tools/ci.sh            # tree used by check_trace.sh
-#   SKIP_TSAN=1 tools/ci.sh              # skip the sanitizer build
-#   TSAN_BUILD_DIR=build-tsan tools/ci.sh
+#   SKIP_TSAN=1 SKIP_ASAN=1 tools/ci.sh  # skip the sanitizer builds
+#   TSAN_BUILD_DIR=build-tsan ASAN_BUILD_DIR=build-asan tools/ci.sh
 #   CHECK_DETERMINISM=1 tools/ci.sh      # forwarded to check_trace.sh
 set -euo pipefail
 
@@ -28,6 +34,9 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 TSAN_TESTS="${TSAN_TESTS:-replication|profiles_concurrency}"
+ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-build-asan}"
+# Exact names: only the binaries the smoke build compiles.
+ASAN_TESTS="${ASAN_TESTS:-^(sim_scheduler_test|sim_process_test|sim_semaphore_test|sim_fair_share_test|net_fabric_test|net_tcp_test|web_service_test|kv_store_test)\$}"
 
 if [[ "${SKIP_TSAN:-0}" == "0" ]]; then
   echo "== WIMPY_TSAN smoke (SKIP_TSAN=1 to skip) =="
@@ -43,6 +52,26 @@ if [[ "${SKIP_TSAN:-0}" == "0" ]]; then
   echo "TSan smoke OK"
 else
   echo "== WIMPY_TSAN smoke skipped (SKIP_TSAN=1) =="
+fi
+
+if [[ "${SKIP_ASAN:-0}" == "0" ]]; then
+  echo
+  echo "== WIMPY_ASAN smoke (SKIP_ASAN=1 to skip) =="
+  if [[ ! -f "${ASAN_BUILD_DIR}/CMakeCache.txt" ]]; then
+    cmake -B "${ASAN_BUILD_DIR}" -S . -DWIMPY_ASAN=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  fi
+  # The model-layer tests that cover the pooled steady-state request path
+  # (scheduler, coroutine frames, semaphores, fair-share, fabric, TCP,
+  # web serve, KV store) — the code where pooling bugs would hide.
+  cmake --build "${ASAN_BUILD_DIR}" -j "$(nproc)" --target \
+    sim_scheduler_test sim_process_test sim_semaphore_test \
+    sim_fair_share_test net_fabric_test net_tcp_test web_service_test \
+    kv_store_test
+  (cd "${ASAN_BUILD_DIR}" && ctest -R "${ASAN_TESTS}" --output-on-failure)
+  echo "ASan smoke OK"
+else
+  echo "== WIMPY_ASAN smoke skipped (SKIP_ASAN=1) =="
 fi
 
 echo

@@ -1,22 +1,50 @@
 #!/usr/bin/env bash
-# Runs the engine microbenchmarks and writes google-benchmark JSON to
-# BENCH_engine.json (see docs/engine.md for how to read the numbers).
+# Runs a benchmark suite and writes google-benchmark JSON.
+#
+#   SUITE=engine (default): engine microbenchmarks -> BENCH_engine.json
+#                           (see docs/engine.md for how to read the numbers)
+#   SUITE=macro:            end-to-end replication bench (bench_scale_macro,
+#                           whole-run throughput + peak RSS at 10k/100k
+#                           connections) -> BENCH_macro.json (docs/scale.md)
 #
 # Usage:
 #   tools/run_engine_bench.sh                  # default: build/ -> BENCH_engine.json
 #   BUILD_DIR=out OUT=/tmp/b.json REPS=5 tools/run_engine_bench.sh
 #   FILTER='SchedulerEventThroughput' tools/run_engine_bench.sh
+#   SUITE=macro REPS=3 tools/run_engine_bench.sh
 #
-# Build the benchmark binary first (Release recommended for stable numbers):
+# Build the benchmark binaries first (Release recommended for stable numbers):
 #   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
+SUITE="${SUITE:-engine}"
+REPS="${REPS:-5}"
+
+if [[ "${SUITE}" == "macro" ]]; then
+  OUT="${OUT:-BENCH_macro.json}"
+  BIN="${BUILD_DIR}/bench/bench_scale_macro"
+  if [[ ! -x "${BIN}" ]]; then
+    echo "error: ${BIN} not found; build it first:" >&2
+    echo "  cmake -B ${BUILD_DIR} -S . -DCMAKE_BUILD_TYPE=Release && cmake --build ${BUILD_DIR} -j" >&2
+    exit 1
+  fi
+  # The macro bench emits raw repetitions itself (run_type "iteration");
+  # items_per_second is whole replications per wall second, so best-of
+  # consumers work the same way as for the micro suite.
+  ARGS=(--reps="${REPS}" --json="${OUT}")
+  if [[ -n "${FILTER:-}" ]]; then
+    ARGS+=(--filter="${FILTER}")
+  fi
+  "${BIN}" "${ARGS[@]}"
+  echo "wrote ${OUT}"
+  exit 0
+fi
+
 OUT="${OUT:-BENCH_engine.json}"
 FILTER="${FILTER:-SchedulerEventThroughput|SchedulerCancelChurn|SchedulerResumeLaterHops|SchedulerDistinctTimes|SchedulerShortDelayServing|FairShareManyJobs|ParallelSweep}"
-REPS="${REPS:-5}"
 
 BIN="${BUILD_DIR}/bench/bench_engine_micro"
 if [[ ! -x "${BIN}" ]]; then
