@@ -7,15 +7,30 @@
 #include "cluster/cluster.h"
 #include "hw/profiles.h"
 #include "obs/energy.h"
+#include "shard/ring.h"
 #include "sim/process.h"
 
 namespace wimpy::kv {
 
 namespace {
 
+// The store tier's consistent-hash map (shard/ring.h): keys hash to
+// shards, shards to owner chains over store indices. Replaces the old
+// flat `position % n` partitioning — routing is now the same ketama map
+// the sharded scale-out experiment uses, so node churn there and
+// failover here agree on who owns what.
+shard::RingConfig StoreRingConfig(const KvExperimentConfig& config) {
+  shard::RingConfig ring;
+  ring.replication = config.replication;
+  return ring;
+}
+
 struct KvTestbed {
   explicit KvTestbed(const KvExperimentConfig& config)
-      : fabric(&sched), clstr(&sched, &fabric), rng(config.seed) {
+      : fabric(&sched),
+        clstr(&sched, &fabric),
+        rng(config.seed),
+        ring(StoreRingConfig(config)) {
     fabric.SetGroupLink("client-room", "store-room", Gbps(10),
                         Milliseconds(0.02));
     auto store_nodes = clstr.AddNodes(config.node_profile,
@@ -27,6 +42,7 @@ struct KvTestbed {
     for (auto* node : store_nodes) {
       stores.push_back(std::make_unique<KvNode>(node, &fabric,
                                                 config.store, rng.Next()));
+      ring.AddNode(static_cast<int>(stores.size()) - 1);
     }
     for (auto* node : client_nodes) client_ids.push_back(node->id());
 
@@ -72,6 +88,7 @@ struct KvTestbed {
   net::Fabric fabric;
   cluster::Cluster clstr;
   Rng rng;
+  shard::Ring ring;  // over store indices, not fabric node ids
   std::vector<std::unique_ptr<KvNode>> stores;
   std::vector<int> client_ids;
   obs::Tracer* tracer = nullptr;
@@ -90,22 +107,31 @@ struct KvWindow {
   PercentileTracker percentiles;
 };
 
-// Ring routing with failover: the first healthy node at or after the
-// hashed position serves the request (FAWN's consistent-hashing ring at
-// this fidelity).
-KvNode* RouteToHealthy(KvTestbed& tb, std::size_t position) {
-  for (std::size_t i = 0; i < tb.stores.size(); ++i) {
-    KvNode* node = tb.stores[(position + i) % tb.stores.size()].get();
-    if (!node->failed()) return node;
+// Ring routing with failover: keys hash to a shard, the shard's
+// preference list orders every store from its ring position, and the
+// first healthy entry serves the request (FAWN's consistent-hashing
+// failover, now on a real ketama map). Returns the preference index, or
+// -1 when every store is down. Allocation-free: the preference list is a
+// precomputed flat table.
+int RouteToHealthy(KvTestbed& tb, const std::vector<int>& pref) {
+  for (std::size_t i = 0; i < pref.size(); ++i) {
+    if (!tb.stores[static_cast<std::size_t>(pref[i])]->failed()) {
+      return static_cast<int>(i);
+    }
   }
-  return nullptr;
+  return -1;
 }
 
 sim::Process OneQuery(KvTestbed& tb, const KvExperimentConfig& config,
                       KvWindow& window, Rng rng) {
   const SimTime started = tb.sched.now();
-  const std::size_t position = rng.NextBelow(tb.stores.size());
-  KvNode* store = RouteToHealthy(tb, position);
+  const int shard = tb.ring.ShardOf(rng.Next());
+  const std::vector<int>& pref = tb.ring.Preference(shard);
+  const int serving = RouteToHealthy(tb, pref);
+  KvNode* store =
+      serving < 0
+          ? nullptr
+          : tb.stores[static_cast<std::size_t>(pref[serving])].get();
   // Root span of the query's trace tree (arg = serving node, -1 when
   // routing found no healthy node); begins exactly at `started`, so the
   // trace re-derives the report's latency and in-window query count.
@@ -125,29 +151,30 @@ sim::Process OneQuery(KvTestbed& tb, const KvExperimentConfig& config,
                        store->node().id());
     obs::ScopedResidency res(tb.energy, store->node().id(), op.handle(),
                              "get");
-    co_await store->Get(client, value);
+    co_await store->Get(client, value, op.handle());
   } else if (ok) {
     {
       obs::CausalSpan op(query_span.handle(), "put",
                          obs::Category::kRequest, store->node().id());
       obs::ScopedResidency res(tb.energy, store->node().id(), op.handle(),
                                "put");
-      co_await store->Put(client, value);
+      co_await store->Put(client, value, op.handle());
     }
-    // Chain replication to the next healthy successors.
+    // Chain replication down the preference list: the healthy successors
+    // after the serving store.
     int upstream = store->node().id();
     int replicated = 1;
-    for (std::size_t i = 1;
-         i < tb.stores.size() && replicated < config.replication; ++i) {
-      KvNode* replica =
-          tb.stores[(position + i) % tb.stores.size()].get();
-      if (replica->failed() || replica == store) continue;
+    for (std::size_t i = static_cast<std::size_t>(serving) + 1;
+         i < pref.size() && replicated < config.replication; ++i) {
+      KvNode* replica = tb.stores[static_cast<std::size_t>(pref[i])].get();
+      if (replica->failed()) continue;
       {
         obs::CausalSpan op(query_span.handle(), "replicate",
                            obs::Category::kRequest, replica->node().id());
         obs::ScopedResidency res(tb.energy, replica->node().id(),
                                  op.handle(), "replicate");
-        co_await replica->ApplyReplicatedWrite(upstream, value);
+        co_await replica->ApplyReplicatedWrite(upstream, value,
+                                               op.handle());
       }
       upstream = replica->node().id();
       ++replicated;

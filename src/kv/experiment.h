@@ -65,8 +65,9 @@ class KvExperiment {
       : config_(std::move(config)) {}
 
   // Open-loop Poisson load at `target_qps` for `measure` seconds (after a
-  // short warm-up); keys route uniformly across nodes (consistent-hash
-  // equivalent at this fidelity).
+  // short warm-up); keys route over a ketama consistent-hash ring
+  // (shard/ring.h) with chain replication down each shard's preference
+  // list.
   KvReport Measure(double target_qps, Duration measure = Seconds(20));
 
   // Ramps the offered load until latency knees or throughput saturates;

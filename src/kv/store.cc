@@ -15,33 +15,41 @@ KvNode::KvNode(hw::ServerNode* node, net::Fabric* fabric,
       static_cast<double>(node_->memory().total())));
 }
 
-sim::Task<void> KvNode::Get(int client_node, Bytes value_bytes) {
+sim::Task<void> KvNode::Get(int client_node, Bytes value_bytes,
+                            obs::TraceHandle trace) {
   ++gets_;
-  co_await fabric_->Transfer(client_node, node_->id(), kRequestHopBytes);
+  co_await fabric_->Transfer(client_node, node_->id(), kRequestHopBytes,
+                             trace, "req_hop");
   co_await node_->cpu().Execute(config_.get_cpu_minstr);
   if (rng_.Bernoulli(config_.ram_hit_ratio)) {
     co_await node_->memory().Transfer(value_bytes);
   } else {
     co_await node_->storage().RandomRead(value_bytes);
   }
-  co_await fabric_->Transfer(node_->id(), client_node, value_bytes);
+  co_await fabric_->Transfer(node_->id(), client_node, value_bytes, trace,
+                             "reply_hop");
 }
 
 sim::Task<void> KvNode::ApplyReplicatedWrite(int upstream_node,
-                                             Bytes value_bytes) {
-  co_await fabric_->Transfer(upstream_node, node_->id(), value_bytes);
+                                             Bytes value_bytes,
+                                             obs::TraceHandle trace) {
+  co_await fabric_->Transfer(upstream_node, node_->id(), value_bytes,
+                             trace, "repl_hop");
   co_await node_->cpu().Execute(config_.put_cpu_minstr);
   co_await node_->storage().Write(value_bytes, /*buffered=*/true);
 }
 
-sim::Task<void> KvNode::Put(int client_node, Bytes value_bytes) {
+sim::Task<void> KvNode::Put(int client_node, Bytes value_bytes,
+                            obs::TraceHandle trace) {
   ++puts_;
   co_await fabric_->Transfer(client_node, node_->id(),
-                             kRequestHopBytes + value_bytes);
+                             kRequestHopBytes + value_bytes, trace,
+                             "req_hop");
   co_await node_->cpu().Execute(config_.put_cpu_minstr);
   // Log-structured append: sequential, page-cache absorbed.
   co_await node_->storage().Write(value_bytes, /*buffered=*/true);
-  co_await fabric_->Transfer(node_->id(), client_node, kAckBytes);
+  co_await fabric_->Transfer(node_->id(), client_node, kAckBytes, trace,
+                             "ack_hop");
 }
 
 }  // namespace wimpy::kv

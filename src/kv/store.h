@@ -14,6 +14,7 @@
 #include "common/random.h"
 #include "hw/server_node.h"
 #include "net/fabric.h"
+#include "obs/context.h"
 #include "sim/task.h"
 
 namespace wimpy::kv {
@@ -40,15 +41,20 @@ class KvNode {
   KvNode& operator=(const KvNode&) = delete;
 
   // GET: request hop, CPU, RAM-cache hit or random device read, reply hop.
-  sim::Task<void> Get(int client_node, Bytes value_bytes);
+  // A live `trace` handle wraps the fabric hops in "req_hop"/"reply_hop"
+  // net child spans (by value: the handle is copied into the coroutine
+  // frame, so callers may pass temporaries). Null handle = untraced.
+  sim::Task<void> Get(int client_node, Bytes value_bytes,
+                      obs::TraceHandle trace = {});
 
   // PUT: value hop in, CPU, log append (sequential buffered write), ack.
-  sim::Task<void> Put(int client_node, Bytes value_bytes);
+  sim::Task<void> Put(int client_node, Bytes value_bytes,
+                      obs::TraceHandle trace = {});
 
   // Chain-replication hop (FAWN-DS): receives the value from the
-  // upstream store node and appends it locally.
-  sim::Task<void> ApplyReplicatedWrite(int upstream_node,
-                                       Bytes value_bytes);
+  // upstream store node ("repl_hop") and appends it locally.
+  sim::Task<void> ApplyReplicatedWrite(int upstream_node, Bytes value_bytes,
+                                       obs::TraceHandle trace = {});
 
   // Fault injection: a failed node serves nothing; the front-end routes
   // around it (FAWN's ring failover).

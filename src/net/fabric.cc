@@ -18,8 +18,9 @@ constexpr Duration kLoopbackLatency = Microseconds(20);
 // concurrently; the slowest segment's completion resumes the awaiting
 // coroutine. Lives in the Transfer coroutine frame across the suspension,
 // so the join state needs no heap and no spawned helper processes.
+// Capacity: two endpoint NICs plus up to kMaxPathHops aggregate links.
 struct SegmentJoin {
-  std::array<sim::FairShareServer*, 3> segments;
+  std::array<sim::FairShareServer*, 2 + Fabric::kMaxPathHops> segments;
   int count = 0;
   double demand = 0;
   std::uint32_t remaining = 0;
@@ -95,6 +96,41 @@ void Fabric::SetGroupLink(const std::string& a, const std::string& b,
       sched_, bandwidth, bandwidth, "link:" + b + ">" + a);
   link->latency = latency;
   RebuildLinkTables();
+  // Links configured after PublishMetrics still get their gauge: the
+  // closure reads through the stable GroupLink*, so a later SetGroupLink
+  // replacing the channels is tracked automatically as well.
+  PublishLink(link);
+}
+
+void Fabric::SetGroupPath(const std::string& a, const std::string& b,
+                          const std::vector<std::string>& via) {
+  assert(a != b && "a group path must join two distinct groups");
+  assert(static_cast<int>(via.size()) + 1 <= kMaxPathHops &&
+         "group path exceeds kMaxPathHops hops");
+  // Canonical orientation by name, like SetGroupLink: one stored route per
+  // unordered pair, replayed into both table directions.
+  std::vector<std::string> groups;
+  groups.reserve(via.size() + 2);
+  if (a <= b) {
+    groups.push_back(a);
+    groups.insert(groups.end(), via.begin(), via.end());
+    groups.push_back(b);
+  } else {
+    groups.push_back(b);
+    groups.insert(groups.end(), via.rbegin(), via.rend());
+    groups.push_back(a);
+  }
+  for (const std::string& g : groups) InternGroup(g);
+  for (GroupPath& path : paths_) {
+    if (path.groups.front() == groups.front() &&
+        path.groups.back() == groups.back()) {
+      path.groups = std::move(groups);
+      RebuildLinkTables();
+      return;
+    }
+  }
+  paths_.push_back(GroupPath{std::move(groups)});
+  RebuildLinkTables();
 }
 
 Fabric::GroupLink* Fabric::FindLink(int a, int b) {
@@ -124,6 +160,41 @@ void Fabric::RebuildLinkTables() {
     link_latencies_[fwd] = link->latency;
     link_latencies_[bwd] = link->latency;
   }
+  // Resolve multi-hop routes against the fresh direct tables. Hops whose
+  // link is not configured yet resolve to nseg == 0 (direct fallback) and
+  // are re-resolved on the next rebuild — topology builders may declare
+  // paths and links in any order.
+  path_table_.assign(g * g, PathEntry{});
+  for (const GroupPath& path : paths_) {
+    PathEntry fwd;
+    PathEntry bwd;
+    bool complete = true;
+    const int hops = static_cast<int>(path.groups.size()) - 1;
+    for (int h = 0; h < hops; ++h) {
+      const int x = FindGroup(path.groups[static_cast<std::size_t>(h)]);
+      const int y = FindGroup(path.groups[static_cast<std::size_t>(h) + 1]);
+      const std::size_t fi =
+          static_cast<std::size_t>(x) * g + static_cast<std::size_t>(y);
+      const std::size_t bi =
+          static_cast<std::size_t>(y) * g + static_cast<std::size_t>(x);
+      if (channels_[fi] == nullptr) {
+        complete = false;
+        break;
+      }
+      fwd.segs[static_cast<std::size_t>(fwd.nseg++)] = channels_[fi];
+      fwd.latency += link_latencies_[fi];
+      bwd.segs[static_cast<std::size_t>(hops - 1 - h)] = channels_[bi];
+      ++bwd.nseg;
+      bwd.latency += link_latencies_[bi];
+    }
+    if (!complete) continue;
+    const int src = FindGroup(path.groups.front());
+    const int dst = FindGroup(path.groups.back());
+    path_table_[static_cast<std::size_t>(src) * g +
+                static_cast<std::size_t>(dst)] = fwd;
+    path_table_[static_cast<std::size_t>(dst) * g +
+                static_cast<std::size_t>(src)] = bwd;
+  }
 }
 
 bool Fabric::HasNode(int node_id) const {
@@ -150,9 +221,11 @@ Duration Fabric::Latency(int src_id, int dst_id) const {
   Duration latency = src.node->nic().endpoint_latency() +
                      dst.node->nic().endpoint_latency();
   if (src.group != dst.group) {
-    latency += link_latencies_[static_cast<std::size_t>(src.group) *
-                                   group_names_.size() +
-                               static_cast<std::size_t>(dst.group)];
+    const std::size_t idx = static_cast<std::size_t>(src.group) *
+                                group_names_.size() +
+                            static_cast<std::size_t>(dst.group);
+    latency += path_table_[idx].nseg > 0 ? path_table_[idx].latency
+                                         : link_latencies_[idx];
   }
   return latency;
 }
@@ -170,26 +243,29 @@ sim::Task<void> Fabric::Transfer(int src_id, int dst_id, Bytes bytes) {
 
   Duration latency = src.node->nic().endpoint_latency() +
                      dst.node->nic().endpoint_latency();
-  sim::FairShareServer* link = nullptr;
+  // The flow occupies every segment concurrently; it completes when the
+  // slowest segment has pumped all bytes. This approximates min-rate
+  // fair-shared flows without per-chunk simulation. At most two NIC
+  // channels plus kMaxPathHops aggregate links — joined inline, so the
+  // steady-state path allocates nothing here.
+  SegmentJoin join;
+  join.demand = static_cast<double>(bytes);
+  join.Add(&src.node->nic().tx());
   if (src.group != dst.group) {
     const std::size_t idx =
         static_cast<std::size_t>(src.group) * group_names_.size() +
         static_cast<std::size_t>(dst.group);
-    link = channels_[idx];
-    latency += link_latencies_[idx];
+    const PathEntry& path = path_table_[idx];
+    if (path.nseg > 0) {
+      for (int i = 0; i < path.nseg; ++i) join.Add(path.segs[i]);
+      latency += path.latency;
+    } else if (channels_[idx] != nullptr) {
+      join.Add(channels_[idx]);
+      latency += link_latencies_[idx];
+    }
   }
-  co_await sim::Delay(*sched_, latency);
-
-  // The flow occupies every segment concurrently; it completes when the
-  // slowest segment has pumped all bytes. This approximates min-rate
-  // fair-shared flows without per-chunk simulation. At most three segments
-  // (src NIC tx, aggregate link channel, dst NIC rx) — joined inline, so
-  // the steady-state path allocates nothing here.
-  SegmentJoin join;
-  join.demand = static_cast<double>(bytes);
-  join.Add(&src.node->nic().tx());
-  if (link != nullptr) join.Add(link);
   join.Add(&dst.node->nic().rx());
+  co_await sim::Delay(*sched_, latency);
   co_await join;
 }
 
@@ -215,11 +291,41 @@ double Fabric::GroupLinkBusyFraction(const std::string& a,
                   link->backward->busy_fraction());
 }
 
+double Fabric::GroupLinkAverageBusyFraction(const std::string& a,
+                                            const std::string& b) const {
+  const int ga = FindGroup(a);
+  const int gb = FindGroup(b);
+  if (ga < 0 || gb < 0) return 0.0;
+  const GroupLink* link = FindLink(ga, gb);
+  if (link == nullptr) return 0.0;
+  return std::max(link->forward->AverageBusyFraction(),
+                  link->backward->AverageBusyFraction());
+}
+
+void Fabric::PublishLink(GroupLink* link) {
+  if (metrics_registry_ == nullptr || link->published) return;
+  link->published = true;
+  // The closure reads through the stable GroupLink*, so a later
+  // SetGroupLink that replaces the channel servers is tracked without
+  // re-registration.
+  metrics_registry_->AddGauge(metrics_prefix_ + ".link." +
+                                  group_names_[link->a] + "-" +
+                                  group_names_[link->b],
+                              [link] {
+                                return std::max(
+                                    link->forward->busy_fraction(),
+                                    link->backward->busy_fraction());
+                              });
+}
+
 void Fabric::PublishMetrics(obs::MetricsRegistry* registry,
                             const std::string& prefix) {
+  metrics_registry_ = registry;
+  metrics_prefix_ = prefix;
   // Probe registration order (and therefore CSV column order) must stay
   // deterministic and name-sorted, exactly as when links_ was an ordered
-  // map keyed by name pair.
+  // map keyed by name pair. Links configured after this call append in
+  // SetGroupLink order (see PublishLink).
   std::vector<GroupLink*> sorted;
   sorted.reserve(links_.size());
   for (const auto& link : links_) sorted.push_back(link.get());
@@ -230,14 +336,7 @@ void Fabric::PublishMetrics(obs::MetricsRegistry* registry,
               if (xa != ya) return xa < ya;
               return group_names_[x->b] < group_names_[y->b];
             });
-  for (GroupLink* l : sorted) {
-    registry->AddGauge(
-        prefix + ".link." + group_names_[l->a] + "-" + group_names_[l->b],
-        [l] {
-          return std::max(l->forward->busy_fraction(),
-                          l->backward->busy_fraction());
-        });
-  }
+  for (GroupLink* l : sorted) PublishLink(l);
 }
 
 }  // namespace wimpy::net

@@ -12,6 +12,13 @@
 // each segment is an independent fair-share server, which reproduces
 // per-flow bandwidth sharing and aggregate bottleneck saturation.
 //
+// Beyond single links, a *group path* (SetGroupPath) routes traffic between
+// two groups through intermediate groups — rack → aggregation → core — so a
+// hierarchical datacenter tree (net/topology.h) composes from pairwise
+// links: a cross-pod flow occupies both rack uplinks and the core hop
+// concurrently and its bandwidth is the min fair share across all of them,
+// which is exactly how oversubscription bites.
+//
 // Layout: group names are interned into dense integer ids at topology-build
 // time; endpoints live in a flat vector indexed by node id (sparse ids leave
 // holes) and the directed link channel / latency for any group pair is a
@@ -20,6 +27,7 @@
 #ifndef WIMPY_NET_FABRIC_H_
 #define WIMPY_NET_FABRIC_H_
 
+#include <array>
 #include <memory>
 #include <string>
 #include <utility>
@@ -54,6 +62,18 @@ class Fabric {
   void SetGroupLink(const std::string& a, const std::string& b,
                     BytesPerSecond bandwidth, Duration latency);
 
+  // Routes a<->b traffic through the intermediate groups `via` (in a->b
+  // order): the flow traverses link(a, via[0]), link(via[0], via[1]), ...,
+  // link(via.back(), b), occupying every hop concurrently. All hops must
+  // already be configured with SetGroupLink by the time traffic flows (the
+  // path is re-resolved whenever the topology changes, so call order
+  // doesn't matter). At most kMaxPathHops hops. Calling again replaces the
+  // previous path for the pair; an empty `via` restores direct routing.
+  void SetGroupPath(const std::string& a, const std::string& b,
+                    const std::vector<std::string>& via);
+
+  static constexpr int kMaxPathHops = 4;
+
   bool HasNode(int node_id) const;
   const std::string& GroupOf(int node_id) const;
 
@@ -86,9 +106,18 @@ class Fabric {
   double GroupLinkBusyFraction(const std::string& a,
                                const std::string& b) const;
 
+  // Time-averaged utilisation of the group link's busier direction since
+  // construction (0 if none configured). The report-level counterpart of
+  // the instantaneous gauge: where the oversubscription cliff shows up.
+  double GroupLinkAverageBusyFraction(const std::string& a,
+                                      const std::string& b) const;
+
   // Registers one busy-fraction gauge per configured group link, named
-  // `<prefix>.link.<a>-<b>` (see docs/observability.md). Call after all
-  // SetGroupLink calls; links added later are not published.
+  // `<prefix>.link.<a>-<b>` (see docs/observability.md). Links configured
+  // *after* this call are published too, at SetGroupLink time (appended
+  // after the existing columns); links present now are registered
+  // name-sorted, so a fully built topology keeps its deterministic column
+  // order.
   void PublishMetrics(obs::MetricsRegistry* registry,
                       const std::string& prefix);
 
@@ -105,6 +134,21 @@ class Fabric {
     std::unique_ptr<sim::FairShareServer> forward;   // a->b
     std::unique_ptr<sim::FairShareServer> backward;  // b->a
     Duration latency = 0;
+    bool published = false;  // gauge already registered
+  };
+  // A multi-hop route between two groups: the full group sequence
+  // [a, via..., b], stored by name so it survives re-interning and link
+  // replacement. Resolved into the flat path table on every rebuild.
+  struct GroupPath {
+    std::vector<std::string> groups;
+  };
+  // Resolved directed route: up to kMaxPathHops link channels a flow
+  // occupies concurrently, plus the summed hop latency. nseg == 0 means
+  // "no multi-hop path; use the direct link table".
+  struct PathEntry {
+    std::array<sim::FairShareServer*, kMaxPathHops> segs{};
+    int nseg = 0;
+    Duration latency = 0;
   };
 
   // Returns the dense id for a group name, interning it on first use.
@@ -114,8 +158,12 @@ class Fabric {
   const Endpoint& Lookup(int node_id) const;
   GroupLink* FindLink(int a, int b);
   const GroupLink* FindLink(int a, int b) const;
-  // Re-derives the G×G directed channel/latency tables from links_.
-  // Called whenever a group or link is added — build time only.
+  // Registers the link's busy-fraction gauge with the stored registry (a
+  // no-op before PublishMetrics has been called).
+  void PublishLink(GroupLink* link);
+  // Re-derives the G×G directed channel/latency tables from links_ and
+  // re-resolves paths_ into path_table_. Called whenever a group, link,
+  // or path is added — build time only.
   void RebuildLinkTables();
 
   sim::Scheduler* sched_;
@@ -128,6 +176,13 @@ class Fabric {
   // pair has no configured aggregate link.
   std::vector<sim::FairShareServer*> channels_;
   std::vector<Duration> link_latencies_;
+  // Configured multi-hop routes (by name) and the resolved directed
+  // [src_group * G + dst_group] table derived from them.
+  std::vector<GroupPath> paths_;
+  std::vector<PathEntry> path_table_;
+  // Set by PublishMetrics so links configured later self-register.
+  obs::MetricsRegistry* metrics_registry_ = nullptr;
+  std::string metrics_prefix_;
 };
 
 }  // namespace wimpy::net

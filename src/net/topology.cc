@@ -1,0 +1,89 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "net/fabric.h"
+
+namespace wimpy::net {
+
+HierarchicalTopology::HierarchicalTopology(
+    Fabric* fabric, const HierarchicalTopologyConfig& config)
+    : fabric_(fabric), config_(config) {
+  assert(fabric != nullptr);
+  assert(config_.racks > 0);
+  assert(config_.racks_per_pod > 0);
+  assert(config_.nodes_per_rack > 0);
+  assert(config_.node_bandwidth > 0);
+  assert(config_.rack_oversubscription >= 1.0);
+  assert(config_.core_oversubscription >= 1.0);
+
+  rack_uplink_bw_ = config_.nodes_per_rack * config_.node_bandwidth /
+                    config_.rack_oversubscription;
+  const int pods =
+      (config_.racks + config_.racks_per_pod - 1) / config_.racks_per_pod;
+
+  rack_groups_.reserve(static_cast<std::size_t>(config_.racks));
+  for (int r = 0; r < config_.racks; ++r) {
+    rack_groups_.push_back("rack" + std::to_string(r));
+  }
+  agg_groups_.reserve(static_cast<std::size_t>(pods));
+  for (int p = 0; p < pods; ++p) {
+    agg_groups_.push_back("agg" + std::to_string(p));
+  }
+
+  // Access layer: each rack's ToR uplink into its pod's aggregation
+  // switch, thinned by the rack oversubscription ratio.
+  for (int r = 0; r < config_.racks; ++r) {
+    fabric_->SetGroupLink(RackGroup(r), AggGroup(PodOfRack(r)),
+                          rack_uplink_bw_, config_.rack_uplink_latency);
+  }
+  // Aggregation layer: each pod's uplink to the core, thinned again.
+  for (int p = 0; p < pods; ++p) {
+    fabric_->SetGroupLink(AggGroup(p), CoreGroup(),
+                          pod_uplink_bandwidth(p),
+                          config_.core_link_latency);
+  }
+
+  // Routes: same-pod rack pairs bounce off the aggregation switch;
+  // cross-pod pairs ride agg → core → agg.
+  for (int i = 0; i < config_.racks; ++i) {
+    for (int j = i + 1; j < config_.racks; ++j) {
+      const int pi = PodOfRack(i);
+      const int pj = PodOfRack(j);
+      if (pi == pj) {
+        fabric_->SetGroupPath(RackGroup(i), RackGroup(j), {AggGroup(pi)});
+      } else {
+        fabric_->SetGroupPath(RackGroup(i), RackGroup(j),
+                              {AggGroup(pi), CoreGroup(), AggGroup(pj)});
+      }
+    }
+  }
+}
+
+int HierarchicalTopology::RacksInPod(int pod) const {
+  const int first = pod * config_.racks_per_pod;
+  return std::min(config_.racks_per_pod, config_.racks - first);
+}
+
+BytesPerSecond HierarchicalTopology::pod_uplink_bandwidth(int pod) const {
+  return RacksInPod(pod) * rack_uplink_bw_ / config_.core_oversubscription;
+}
+
+void HierarchicalTopology::AttachToCore(const std::string& group,
+                                        BytesPerSecond bandwidth,
+                                        Duration latency) {
+  fabric_->SetGroupLink(group, CoreGroup(), bandwidth, latency);
+  // The new room reaches every rack through core → pod agg, and other
+  // attached rooms through the core switch alone.
+  for (int r = 0; r < config_.racks; ++r) {
+    fabric_->SetGroupPath(group, RackGroup(r),
+                          {CoreGroup(), AggGroup(PodOfRack(r))});
+  }
+  for (const std::string& other : attached_) {
+    fabric_->SetGroupPath(group, other, {CoreGroup()});
+  }
+  attached_.push_back(group);
+}
+
+}  // namespace wimpy::net

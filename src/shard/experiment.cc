@@ -1,0 +1,358 @@
+#include "shard/experiment.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/stats.h"
+#include "hw/profiles.h"
+#include "net/fabric.h"
+#include "net/topology.h"
+#include "obs/energy.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "shard/router.h"
+#include "sim/process.h"
+
+namespace wimpy::shard {
+
+namespace {
+
+net::HierarchicalTopologyConfig TopologyConfig(
+    const ShardExperimentConfig& config) {
+  net::HierarchicalTopologyConfig topo;
+  topo.racks = config.racks;
+  topo.racks_per_pod = config.racks_per_pod;
+  topo.nodes_per_rack = config.nodes_per_rack;
+  topo.node_bandwidth = config.node_profile.nic.bandwidth;
+  topo.rack_oversubscription = config.rack_oversubscription;
+  topo.core_oversubscription = config.core_oversubscription;
+  return topo;
+}
+
+struct ShardTestbed {
+  explicit ShardTestbed(const ShardExperimentConfig& config)
+      : fabric(&sched),
+        topo(&fabric, TopologyConfig(config)),
+        clstr(&sched, &fabric),
+        rng(config.seed) {
+    // Clients live in their own room hanging off the core switch, like
+    // the kv testbed's client room — only now the path to any store
+    // crosses core → agg → rack, so client traffic and replication
+    // traffic contend for the same oversubscribed uplinks.
+    topo.AttachToCore("client-room", Gbps(10), Milliseconds(0.02));
+
+    // Ring members rack by rack (store index == fabric node id because
+    // stores are created first), then the provisioned spares round-robin
+    // across racks, then the load generators.
+    std::vector<hw::ServerNode*> store_nodes;
+    for (int r = 0; r < config.racks; ++r) {
+      auto rack_nodes = clstr.AddNodes(config.node_profile,
+                                       config.nodes_per_rack, "shard-store",
+                                       topo.RackGroup(r));
+      store_nodes.insert(store_nodes.end(), rack_nodes.begin(),
+                         rack_nodes.end());
+    }
+    for (int s = 0; s < config.spare_nodes; ++s) {
+      auto spare = clstr.AddNodes(config.node_profile, 1, "shard-store",
+                                  topo.RackGroup(s % config.racks));
+      store_nodes.push_back(spare[0]);
+    }
+    auto client_nodes = clstr.AddNodes(hw::DellR620Profile(),
+                                       config.client_machines, "client",
+                                       "client-room");
+
+    for (auto* node : store_nodes) {
+      stores.push_back(std::make_unique<kv::KvNode>(node, &fabric,
+                                                    config.store,
+                                                    rng.Next()));
+    }
+    for (auto* node : client_nodes) client_ids.push_back(node->id());
+
+    std::vector<int> members;
+    for (int i = 0; i < config.ring_nodes(); ++i) members.push_back(i);
+    router = std::make_unique<Router>(config.ring, members);
+    migrator = std::make_unique<Migrator>(&clstr, router.get(),
+                                          config.migration);
+
+    tracer = config.tracer;
+    metrics = config.metrics;
+    energy = config.energy;
+    trace_sample_every = std::max(1, config.trace_sample_every);
+    if (energy != nullptr) {
+      // The whole provisioned store tier is observed (members + spares):
+      // an idle spare still burns idle watts, which is exactly the
+      // provisioning cost the scale-out bench wants visible.
+      for (auto& store : stores) store->node().ObserveEnergy(energy);
+    }
+    if (metrics != nullptr) {
+      for (std::size_t i = 0; i < stores.size(); ++i) {
+        stores[i]->node().PublishMetrics(metrics,
+                                         "shard" + std::to_string(i));
+      }
+      fabric.PublishMetrics(metrics, "net");
+    }
+  }
+
+  int StoreNodeId(int store_index) const {
+    return stores[static_cast<std::size_t>(store_index)]->node().id();
+  }
+
+  // 1-in-N query trace sampling (same contract as the kv/web testbeds:
+  // the counter lives outside the random streams, so tracing on/off
+  // never changes simulated behaviour).
+  obs::TraceHandle StartTrace() {
+    const std::uint64_t query = query_counter_++;
+    if (tracer == nullptr ||
+        query % static_cast<std::uint64_t>(trace_sample_every) != 0) {
+      return {};
+    }
+    obs::TraceHandle handle;
+    handle.tracer = tracer;
+    handle.sched = &sched;
+    handle.track = static_cast<std::int32_t>(query & 0x7fffffff);
+    handle.ctx.trace_id = tracer->NewTraceId();
+    return handle;
+  }
+
+  sim::Scheduler sched;
+  net::Fabric fabric;
+  net::HierarchicalTopology topo;
+  cluster::Cluster clstr;
+  Rng rng;
+  std::vector<std::unique_ptr<kv::KvNode>> stores;
+  std::vector<int> client_ids;
+  std::unique_ptr<Router> router;
+  std::unique_ptr<Migrator> migrator;
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::EnergyAttributor* energy = nullptr;
+  int trace_sample_every = 64;
+  std::uint64_t query_counter_ = 0;
+};
+
+struct ShardWindow {
+  SimTime start = 0;
+  SimTime end = 0;
+  std::int64_t done = 0;
+  std::int64_t completed_in_window = 0;
+  std::int64_t failed = 0;
+  std::int64_t replica_hops = 0;
+  std::int64_t cross_rack_replica_hops = 0;
+  OnlineStats latency;
+  PercentileTracker percentiles;
+};
+
+// First healthy member of the shard's serving chain; when the whole
+// chain is down, fall back to the target ring's preference order (the
+// same walk the kv experiment does). -1 when every store is down.
+int RouteToHealthy(ShardTestbed& tb, int shard) {
+  const Router::Chain chain = tb.router->ServingChain(shard);
+  for (int member : chain) {
+    if (!tb.stores[static_cast<std::size_t>(member)]->failed()) {
+      return member;
+    }
+  }
+  for (int member : tb.router->Preference(shard)) {
+    if (!tb.stores[static_cast<std::size_t>(member)]->failed()) {
+      return member;
+    }
+  }
+  return -1;
+}
+
+sim::Process OneQuery(ShardTestbed& tb, const ShardExperimentConfig& config,
+                      ShardWindow& window, Rng rng) {
+  const SimTime started = tb.sched.now();
+  const int shard = tb.router->ShardOf(rng.Next());
+  const int serving = RouteToHealthy(tb, shard);
+  // Root span of the query's trace tree (arg = shard); the "shard_hop"
+  // child brackets the whole routed interaction with the owner chain, so
+  // trace_analyze decomposes time spent inside each shard — and, via the
+  // nested req/reply/repl net hops, across racks — without changes.
+  obs::CausalSpan query_span(tb.StartTrace(), "query",
+                             obs::Category::kRequest, shard);
+  if (serving < 0) query_span.Instant("route_failed");
+  const int client = tb.client_ids[rng.NextBelow(tb.client_ids.size())];
+  const Bytes value = std::max<Bytes>(
+      64, static_cast<Bytes>(rng.LogNormalMeanStd(
+              static_cast<double>(config.store.value_size_mean),
+              static_cast<double>(config.store.value_size_stddev))));
+  const bool ok = serving >= 0;
+  if (ok) {
+    kv::KvNode* store = tb.stores[static_cast<std::size_t>(serving)].get();
+    obs::CausalSpan hop(query_span.handle(), "shard_hop",
+                        obs::Category::kNet, store->node().id());
+    if (rng.Bernoulli(config.get_fraction)) {
+      obs::CausalSpan op(hop.handle(), "get", obs::Category::kRequest,
+                         store->node().id());
+      obs::ScopedResidency res(tb.energy, store->node().id(), op.handle(),
+                               "get");
+      co_await store->Get(client, value, op.handle());
+    } else {
+      // Writes to a migrating shard are counted at routing time so the
+      // migrator can size its catch-up passes.
+      tb.router->OnWrite(shard);
+      {
+        obs::CausalSpan op(hop.handle(), "put", obs::Category::kRequest,
+                           store->node().id());
+        obs::ScopedResidency res(tb.energy, store->node().id(),
+                                 op.handle(), "put");
+        co_await store->Put(client, value, op.handle());
+      }
+      // Chain replication along the healthy remainder of the serving
+      // chain, counting rack-boundary crossings for the report.
+      const Router::Chain chain = tb.router->ServingChain(shard);
+      int upstream = serving;
+      for (int member : chain) {
+        if (member == serving) continue;
+        kv::KvNode* replica =
+            tb.stores[static_cast<std::size_t>(member)].get();
+        if (replica->failed()) continue;
+        ++window.replica_hops;
+        if (tb.fabric.GroupIdOf(tb.StoreNodeId(upstream)) !=
+            tb.fabric.GroupIdOf(replica->node().id())) {
+          ++window.cross_rack_replica_hops;
+        }
+        {
+          obs::CausalSpan op(hop.handle(), "replicate",
+                             obs::Category::kRequest, replica->node().id());
+          obs::ScopedResidency res(tb.energy, replica->node().id(),
+                                   op.handle(), "replicate");
+          co_await replica->ApplyReplicatedWrite(tb.StoreNodeId(upstream),
+                                                 value, op.handle());
+        }
+        upstream = member;
+      }
+    }
+  }
+  const SimTime finished = tb.sched.now();
+  if (started >= window.start && started < window.end) {
+    if (ok) {
+      ++window.done;
+      // Goodput: the backlog from saturated uplinks pushes completions
+      // past the window edge, so this is the counter that bends.
+      if (finished < window.end) ++window.completed_in_window;
+      window.latency.Add(finished - started);
+      window.percentiles.Add(finished - started);
+    } else {
+      ++window.failed;
+    }
+  }
+}
+
+sim::Process Arrivals(ShardTestbed& tb, const ShardExperimentConfig& config,
+                      ShardWindow& window, double qps, Rng rng) {
+  while (tb.sched.now() < window.end) {
+    co_await sim::Delay(tb.sched, rng.Exponential(qps));
+    if (tb.sched.now() >= window.end) break;
+    sim::Spawn(tb.sched, OneQuery(tb, config, window, rng.Fork()));
+  }
+}
+
+}  // namespace
+
+ShardExperimentConfig::ShardExperimentConfig()
+    : node_profile(hw::EdisonProfile()) {}
+
+ShardReport ShardExperiment::Measure(double target_qps, Duration measure) {
+  ShardTestbed tb(config_);
+  ShardWindow window;
+  window.start = Seconds(2);
+  window.end = window.start + measure;
+
+  MigrationStats migration;
+  if (config_.churn != Churn::kNone) {
+    tb.sched.ScheduleAt(window.start + measure / 2, [this, &tb,
+                                                     &migration] {
+      std::vector<Router::ShardMove> moves;
+      if (config_.churn == Churn::kJoin) {
+        // The first provisioned spare joins the ring.
+        moves = tb.router->Join(config_.ring_nodes());
+      } else {
+        // Graceful drain of the highest-numbered member: it keeps
+        // serving its shards until each one commits its handoff.
+        moves = tb.router->Leave(tb.router->ring().members().back());
+      }
+      if (tb.tracer != nullptr) {
+        tb.tracer->InstantAt(tb.sched.now(),
+                             config_.churn == Churn::kJoin ? "churn_join"
+                                                           : "churn_leave",
+                             obs::Category::kApp,
+                             static_cast<std::int64_t>(moves.size()));
+      }
+      sim::Spawn(tb.sched, tb.migrator->Run(std::move(moves), tb.tracer,
+                                            &migration));
+    });
+  }
+
+  Joules epoch = 0;
+  tb.sched.ScheduleAt(window.start, [&] {
+    epoch = tb.clstr.CumulativeJoules({"shard-store"});
+    if (tb.tracer != nullptr) {
+      tb.tracer->InstantAt(tb.sched.now(), "measure_start",
+                           obs::Category::kApp, 0);
+    }
+    if (tb.energy != nullptr) tb.energy->BeginWindow();
+  });
+  Joules spent = 0;
+  tb.sched.ScheduleAt(window.end, [&] {
+    spent = tb.clstr.CumulativeJoules({"shard-store"}) - epoch;
+    if (tb.metrics != nullptr) tb.metrics->Stop();
+    if (tb.tracer != nullptr) {
+      tb.tracer->InstantAt(tb.sched.now(), "measure_end",
+                           obs::Category::kApp, 0);
+    }
+    if (tb.energy != nullptr) tb.energy->EndWindow();
+  });
+
+  if (tb.metrics != nullptr) tb.metrics->Start(&tb.sched, Seconds(1));
+  sim::Spawn(tb.sched,
+             Arrivals(tb, config_, window, target_qps, tb.rng.Fork()));
+  tb.sched.Run();
+  if (tb.metrics != nullptr) tb.metrics->SampleNow();
+
+  ShardReport report;
+  report.target_qps = target_qps;
+  report.achieved_qps = static_cast<double>(window.done) / measure;
+  report.goodput_qps =
+      static_cast<double>(window.completed_in_window) / measure;
+  report.done = window.done;
+  report.failed = window.failed;
+  report.error_rate =
+      window.done + window.failed == 0
+          ? 0.0
+          : static_cast<double>(window.failed) /
+                static_cast<double>(window.done + window.failed);
+  report.mean_latency = window.latency.mean();
+  report.p99_latency = window.percentiles.Percentile(0.99);
+  report.store_power = spent / measure;
+  report.queries_per_joule =
+      spent > 0 ? static_cast<double>(window.done) / spent : 0;
+  report.cross_rack_replica_fraction =
+      window.replica_hops == 0
+          ? 0.0
+          : static_cast<double>(window.cross_rack_replica_hops) /
+                static_cast<double>(window.replica_hops);
+  for (int r = 0; r < tb.topo.racks(); ++r) {
+    report.max_rack_uplink_busy =
+        std::max(report.max_rack_uplink_busy,
+                 tb.fabric.GroupLinkAverageBusyFraction(
+                     tb.topo.RackGroup(r),
+                     tb.topo.AggGroup(tb.topo.PodOfRack(r))));
+  }
+  for (int p = 0; p < tb.topo.pods(); ++p) {
+    report.max_core_link_busy =
+        std::max(report.max_core_link_busy,
+                 tb.fabric.GroupLinkAverageBusyFraction(
+                     tb.topo.AggGroup(p),
+                     net::HierarchicalTopology::CoreGroup()));
+  }
+  report.migration = migration;
+  report.executed_events = tb.sched.executed_events();
+  return report;
+}
+
+}  // namespace wimpy::shard

@@ -18,6 +18,7 @@ WebServer::WebServer(hw::ServerNode* node, net::Fabric* fabric,
     : node_(node),
       fabric_(fabric),
       caches_(std::move(caches)),
+      cache_ring_(shard::RingConfig{}),
       databases_(std::move(databases)),
       config_(config),
       tcp_host_(fabric, node->id(), config.tcp),
@@ -25,6 +26,9 @@ WebServer::WebServer(hw::ServerNode* node, net::Fabric* fabric,
       accept_serial_(&node->scheduler(), 1),
       rng_(seed) {
   assert(config.service_efficiency > 0);
+  for (std::size_t i = 0; i < caches_.size(); ++i) {
+    cache_ring_.AddNode(static_cast<int>(i));
+  }
 }
 
 void WebServer::ResetStats() {
@@ -96,8 +100,10 @@ sim::Task<CallResult> WebServer::ServeCall(int client_node_id,
 
     // Content fetch: cache tier on a hit, database tier on a miss.
     if (spec.cache_hit && !caches_.empty()) {
-      CacheServer* cache =
-          caches_[rng_.NextBelow(caches_.size())];
+      // The request's key hash picks the shard; its primary owner is the
+      // cache holding the entry.
+      CacheServer* cache = caches_[static_cast<std::size_t>(
+          cache_ring_.PrimaryOf(cache_ring_.ShardOf(rng_.Next())))];
       const SimTime t0 = sched.now();
       {
         obs::CausalSpan fetch(serve.handle(), "cache",

@@ -24,6 +24,7 @@
 #include "hw/server_node.h"
 #include "net/tcp.h"
 #include "obs/context.h"
+#include "shard/ring.h"
 #include "sim/semaphore.h"
 #include "sim/task.h"
 #include "web/backend.h"
@@ -119,6 +120,10 @@ class WebServer {
   hw::ServerNode* node_;
   net::Fabric* fabric_;
   std::vector<CacheServer*> caches_;
+  // Ketama map over cache indices: hot keys pin to a cache the way a
+  // memcached client's consistent hashing does, instead of the old
+  // uniform per-request draw (same shard map the kv/shard tiers use).
+  shard::Ring cache_ring_;
   std::vector<DatabaseServer*> databases_;
   WebServerConfig config_;
   obs::EnergyAttributor* energy_ = nullptr;

@@ -12,11 +12,18 @@
 #   BUILD_DIR=out THRESHOLD_PCT=10 REPS=9 RUNS=3 tools/check_bench_regression.sh
 #   OBS_THRESHOLD_PCT=5 SKIP_OBS_RUN=1 tools/check_bench_regression.sh
 #   SKIP_MACRO=1 MACRO_REPS=3 MACRO_RUNS=2 tools/check_bench_regression.sh
+#   SKIP_SHARD=1 tools/check_bench_regression.sh
 #
 # After the engine microbenchmarks, the end-to-end macro suite
 # (bench_scale_macro: whole-replication throughput at 10k/100k simulated
 # connections, docs/scale.md) is gated the same way against the committed
-# BENCH_macro.json; set SKIP_MACRO=1 to skip it.
+# BENCH_macro.json; set SKIP_MACRO=1 to skip it. Then the sharded
+# scale-out sweep (bench_shard_scaleout, docs/sharding.md) is gated
+# against BENCH_shard.json with the same threshold; its items_per_second
+# is simulated in-window goodput qps — deterministic for the pinned seed,
+# so one run with no retries suffices and any >THRESHOLD_PCT delta is a
+# real behavioral change (e.g. the oversubscription bend moving), not
+# host noise. Set SKIP_SHARD=1 to skip it.
 #
 # Benchmarks present in only one of the two runs (e.g. newly added ones
 # with no baseline yet) are reported but never fail the check.
@@ -54,6 +61,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 BASELINE="${BASELINE:-BENCH_engine.json}"
 MACRO_BASELINE="${MACRO_BASELINE:-BENCH_macro.json}"
+SHARD_BASELINE="${SHARD_BASELINE:-BENCH_shard.json}"
 THRESHOLD_PCT="${THRESHOLD_PCT:-20}"
 OBS_THRESHOLD_PCT="${OBS_THRESHOLD_PCT:-2}"
 REPS="${REPS:-5}"
@@ -69,8 +77,10 @@ fi
 
 CURRENT_FILES=()
 MACRO_FILES=()
+SHARD_FILES=()
 RETRY_FILTER="$(mktemp /tmp/bench_retry.XXXXXX)"
-trap 'rm -f "${CURRENT_FILES[@]}" "${MACRO_FILES[@]}" "${RETRY_FILTER}"' EXIT
+trap 'rm -f "${CURRENT_FILES[@]}" "${MACRO_FILES[@]}" "${SHARD_FILES[@]}" \
+  "${RETRY_FILTER}"' EXIT
 for run in $(seq "${RUNS}"); do
   echo "== suite invocation ${run}/${RUNS} =="
   f="$(mktemp /tmp/bench_engine.XXXXXX.json)"
@@ -239,6 +249,23 @@ if [[ "${SKIP_MACRO:-0}" == "0" && -f "${MACRO_BASELINE}" ]]; then
     BUILD_DIR="${BUILD_DIR}" SUITE=macro OUT="${f}" REPS="${MACRO_REPS}" \
       FILTER="$(cat "${RETRY_FILTER}")" tools/run_engine_bench.sh
   done
+fi
+
+# Sharded scale-out gate: simulated goodput per cell vs the committed
+# BENCH_shard.json. Deterministic for the pinned seed (the sim is a pure
+# function of it), so a single run with no targeted retries — a delta
+# here is a behavioral change in the router/migrator/topology, never
+# host noise.
+if [[ "${SKIP_SHARD:-0}" == "0" && -f "${SHARD_BASELINE}" ]]; then
+  echo
+  echo "== shard scale-out suite (SKIP_SHARD=1 to skip) =="
+  f="$(mktemp /tmp/bench_shard.XXXXXX.json)"
+  SHARD_FILES+=("${f}")
+  BUILD_DIR="${BUILD_DIR}" SUITE=shard OUT="${f}" tools/run_engine_bench.sh
+  if ! compare "${SHARD_BASELINE}" "${f}"; then
+    echo "FAIL: shard scale-out sweep drifted from ${SHARD_BASELINE}."
+    exit 1
+  fi
 fi
 
 if [[ "${SKIP_OBS_RUN:-0}" == "0" ]]; then

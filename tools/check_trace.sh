@@ -21,6 +21,13 @@
 # connections (both workloads) at --threads=1 and 8 and requires
 # byte-identical stats + golden-trace prefixes (docs/scale.md).
 #
+# A fifth section validates the sharded scale-out exports
+# (bench_shard_scaleout, docs/sharding.md): the seed-77 trace must pass
+# the schema/causal-id validation, contain shard_hop routing spans AND
+# migration spans (shard_move) from the churn cells, and reproduce the
+# trace_analyze.py golden (tests/data/trace_analyze_shard_seed77.txt);
+# --determinism output must be byte-identical at --threads=1 vs 8.
+#
 # Usage:
 #   cmake -B build -S . && cmake --build build -j
 #   tools/check_trace.sh
@@ -37,7 +44,8 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 BENCHES=(bench_fig4_7_web_light bench_fig10_11_delay_hist
          bench_fig12_17_mr_timelines)
-for name in "${BENCHES[@]}" bench_kv_queries_per_joule bench_scale_macro; do
+for name in "${BENCHES[@]}" bench_kv_queries_per_joule bench_scale_macro \
+            bench_shard_scaleout; do
   if [[ ! -x "${BUILD_DIR}/bench/${name}" ]]; then
     echo "error: ${BUILD_DIR}/bench/${name} not found; build it first:" >&2
     echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
@@ -255,5 +263,58 @@ cmp "${WORK}/macro_det_t1.txt" "${WORK}/macro_det_t8.txt" \
        exit 1; }
 echo "determinism OK: 100k-connection stats + trace prefix byte-identical" \
      "at --threads=1 and 8 ($(wc -l < "${WORK}/macro_det_t1.txt") lines)"
+
+# --- sharded scale-out exports + migration spans + determinism ----------
+# bench_shard_scaleout at the pinned seed: validate the causal trace,
+# require both the routing spans (shard_hop) and the live-rebalance spans
+# (shard_move, from the churn cells), and diff trace_analyze.py against
+# the checked-in golden (same pin as ctest's
+# tools_trace_analyze_shard_seed77_golden).
+shard_bin="${BUILD_DIR}/bench/bench_shard_scaleout"
+shard_trace="${WORK}/shard77.trace.json"
+shard_summary="${WORK}/shard77.summary.csv"
+echo "== bench_shard_scaleout (scale-out golden, --seed=77) =="
+"${shard_bin}" --replications=1 --threads=1 --seed=77 \
+  --trace="${shard_trace}" --trace-summary="${shard_summary}" \
+  > "${WORK}/shard77.stdout.txt"
+validate_trace "${shard_trace}"
+for span in shard_hop shard_move migration migrate_batch cutover; do
+  grep -q "\"name\":\"${span}\"" "${shard_trace}" \
+    || { echo "error: shard trace has no ${span} spans" >&2; exit 1; }
+done
+echo "shard spans OK: routing + migration spans present"
+python3 tools/trace_analyze.py "${shard_trace}" \
+  --summary "${shard_summary}" -o "${WORK}/shard77.analysis.txt"
+diff -u tests/data/trace_analyze_shard_seed77.txt \
+  "${WORK}/shard77.analysis.txt" \
+  || { echo "error: shard trace_analyze.py output drifted from golden" >&2; \
+       exit 1; }
+echo "trace_analyze OK: matches tests/data/trace_analyze_shard_seed77.txt"
+
+# Determinism at any --threads is part of the sweep's contract (the ring
+# map, migration schedule, and every report number are pure functions of
+# the seed), so this one runs unconditionally.
+echo "re-running --determinism at --threads=1 and 8 (same seed)..."
+for t in 1 8; do
+  "${shard_bin}" --determinism --replications=2 --seed=77 \
+    --threads="${t}" > "${WORK}/shard_det_t${t}.txt"
+done
+cmp "${WORK}/shard_det_t1.txt" "${WORK}/shard_det_t8.txt" \
+  || { echo "error: shard determinism output differs across --threads" >&2; \
+       exit 1; }
+echo "determinism OK: shard sweep stats + trace prefix byte-identical" \
+     "at --threads=1 and 8 ($(wc -l < "${WORK}/shard_det_t1.txt") lines)"
+
+if [[ "${CHECK_DETERMINISM:-0}" != "0" ]]; then
+  echo "re-running shard exports at --threads=8 (same seed)..."
+  "${shard_bin}" --replications=1 --threads=8 --seed=77 \
+    --trace="${WORK}/shard77.trace_t8.json" \
+    --trace-summary="${WORK}/shard77.summary_t8.csv" > /dev/null
+  cmp "${shard_trace}" "${WORK}/shard77.trace_t8.json" \
+    || { echo "error: shard trace differs across --threads" >&2; exit 1; }
+  cmp "${shard_summary}" "${WORK}/shard77.summary_t8.csv" \
+    || { echo "error: shard summary differs across --threads" >&2; exit 1; }
+  echo "determinism OK: shard trace + summary byte-identical at --threads=1 and 8"
+fi
 
 echo "OK: trace and metrics exports validate"

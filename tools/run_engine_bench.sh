@@ -6,6 +6,10 @@
 #   SUITE=macro:            end-to-end replication bench (bench_scale_macro,
 #                           whole-run throughput + peak RSS at 10k/100k
 #                           connections) -> BENCH_macro.json (docs/scale.md)
+#   SUITE=shard:            sharded scale-out sweep (bench_shard_scaleout,
+#                           simulated goodput/p99/rebalance over replication
+#                           x oversubscription) -> BENCH_shard.json
+#                           (docs/sharding.md; deterministic, REPS unused)
 #
 # Usage:
 #   tools/run_engine_bench.sh                  # default: build/ -> BENCH_engine.json
@@ -39,6 +43,22 @@ if [[ "${SUITE}" == "macro" ]]; then
     ARGS+=(--filter="${FILTER}")
   fi
   "${BIN}" "${ARGS[@]}"
+  echo "wrote ${OUT}"
+  exit 0
+fi
+
+if [[ "${SUITE}" == "shard" ]]; then
+  OUT="${OUT:-BENCH_shard.json}"
+  BIN="${BUILD_DIR}/bench/bench_shard_scaleout"
+  if [[ ! -x "${BIN}" ]]; then
+    echo "error: ${BIN} not found; build it first:" >&2
+    echo "  cmake -B ${BUILD_DIR} -S . -DCMAKE_BUILD_TYPE=Release && cmake --build ${BUILD_DIR} -j" >&2
+    exit 1
+  fi
+  # items_per_second is simulated in-window goodput qps — a pure function
+  # of the seed, so one replication suffices and FILTER (used by targeted
+  # regression re-runs) is a no-op: the whole sweep re-runs, cheaply.
+  "${BIN}" --replications=1 --json="${OUT}"
   echo "wrote ${OUT}"
   exit 0
 fi
