@@ -35,6 +35,8 @@ struct CellResult {
   double delay_ms = 0;
   double power = 0;
   double mj_per_req = 0;  // attributed, from the energy ledger
+  double disp_p99_ms = 0;      // p99, service start -> completion
+  double intended_p99_ms = 0;  // p99, connection intended -> completion
   obs::TraceLog trace;
   obs::MetricsSeries metrics;
   obs::EnergyLedger ledger;
@@ -62,6 +64,8 @@ CellResult RunCell(const Cell& cell, Rng& root, bool want_trace,
       bench::WarmupWindow(), bench::MeasureWindowFor(cell.concurrency));
   CellResult res{r.achieved_rps, r.error_rate, 1000 * r.mean_response,
                  r.middle_tier_power};
+  res.disp_p99_ms = 1000 * r.p99_dispatch;
+  res.intended_p99_ms = 1000 * r.p99_conn_intended;
   if (want_trace || want_summary) res.trace = tracer.TakeLog();
   if (want_metrics) res.metrics = metrics.TakeSeries();
   if (want_summary) {
@@ -74,6 +78,7 @@ CellResult RunCell(const Cell& cell, Rng& root, bool want_trace,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool want_omission = bench::PeelOmissionFlag(&argc, argv);
   const BenchArgs args = ParseBenchArgs(argc, argv);
   const int threads = ResolvedThreads(args);
 
@@ -172,6 +177,31 @@ int main(int argc, char** argv) {
   std::printf("\n");
   delay.Print();
   MaybeExportCsv(delay, "fig7_delay");
+
+  if (want_omission) {
+    TextTable omission(
+        "Omission annotation: call p99 from dispatch / from connection "
+        "arrival (ms)");
+    std::vector<std::string> oh{"Concurrency"};
+    for (const auto& s : scales) oh.push_back(s.label);
+    omission.SetHeader(oh);
+    int idx = 0;
+    for (double conc : levels) {
+      std::vector<std::string> row{TextTable::Num(conc, 0)};
+      for (std::size_t s = 0; s < scales.size(); ++s) {
+        const auto& reps = sweep[idx++];
+        const MetricSummary d = SummarizeOver(
+            reps, [](const CellResult& r) { return r.disp_p99_ms; });
+        const MetricSummary in = SummarizeOver(
+            reps, [](const CellResult& r) { return r.intended_p99_ms; });
+        row.push_back(bench::FormatOmissionCell(d.mean, in.mean));
+      }
+      omission.AddRow(row);
+    }
+    std::printf("\n");
+    omission.Print();
+    bench::PrintOmissionNote();
+  }
 
   std::printf(
       "\nPaper shapes to check: peak rps of 24 Edison ~= 2 Dell; rps\n"

@@ -34,6 +34,8 @@ struct CellResult {
   double error_rate = 0;
   double delay_ms = 0;
   double mj_per_req = 0;  // attributed, from the energy ledger
+  double disp_p99_ms = 0;      // p99, service start -> completion
+  double intended_p99_ms = 0;  // p99, connection intended -> completion
   obs::TraceLog trace;
   obs::MetricsSeries metrics;
   obs::EnergyLedger ledger;
@@ -60,6 +62,8 @@ CellResult RunCell(const Cell& cell, Rng& root, bool want_trace,
       web::WebExperiment::TunedCallsPerConnection(cell.concurrency),
       bench::WarmupWindow(), bench::MeasureWindowFor(cell.concurrency));
   CellResult res{r.achieved_rps, r.error_rate, 1000 * r.mean_response};
+  res.disp_p99_ms = 1000 * r.p99_dispatch;
+  res.intended_p99_ms = 1000 * r.p99_conn_intended;
   if (want_trace || want_summary) res.trace = tracer.TakeLog();
   if (want_metrics) res.metrics = metrics.TakeSeries();
   if (want_summary) {
@@ -72,6 +76,7 @@ CellResult RunCell(const Cell& cell, Rng& root, bool want_trace,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool want_omission = bench::PeelOmissionFlag(&argc, argv);
   const BenchArgs args = ParseBenchArgs(argc, argv);
   const int threads = ResolvedThreads(args);
 
@@ -112,6 +117,7 @@ int main(int argc, char** argv) {
 
   int cell_idx = 0;
   for (const auto& scale : scales) {
+    const int scale_base = cell_idx;
     TextTable rps(std::string("Figure 5: requests/sec — ") + scale.label +
                   " web servers");
     TextTable delay(std::string("Figure 8: mean delay (ms) — ") +
@@ -158,7 +164,32 @@ int main(int argc, char** argv) {
     std::printf("\n");
     delay.Print();
     std::printf("\n");
+
+    if (want_omission) {
+      TextTable omission(
+          std::string("Omission annotation — ") + scale.label +
+          ": call p99 from dispatch / from connection arrival (ms)");
+      std::vector<std::string> oh{"Concurrency"};
+      for (const auto& c : cases) oh.push_back(c.label);
+      omission.SetHeader(oh);
+      int idx = scale_base;
+      for (double conc : levels) {
+        std::vector<std::string> row{TextTable::Num(conc, 0)};
+        for (std::size_t i = 0; i < cases.size(); ++i) {
+          const auto& reps = sweep[idx++];
+          const MetricSummary d = SummarizeOver(
+              reps, [](const CellResult& r) { return r.disp_p99_ms; });
+          const MetricSummary in = SummarizeOver(
+              reps, [](const CellResult& r) { return r.intended_p99_ms; });
+          row.push_back(bench::FormatOmissionCell(d.mean, in.mean));
+        }
+        omission.AddRow(row);
+      }
+      omission.Print();
+      std::printf("\n");
+    }
   }
+  if (want_omission) bench::PrintOmissionNote();
 
   std::printf(
       "Paper shapes: peak throughput at 512 concurrency changes little\n"

@@ -112,14 +112,26 @@ void ExportSweepObsEnergy(const BenchArgs& args, Sweep& sweep) {
     }
   }
   if (want_summary) {
-    const Status st = obs::WriteTraceSummaryCsv(logs, ledgers,
-                                                args.trace_summary_path);
+    const Duration slo = Milliseconds(args.slo_ms);
+    const Status st = obs::WriteTraceSummaryCsv(
+        logs, ledgers, args.trace_summary_path, slo);
     if (st.ok()) {
       std::printf("Trace summary written to %s\n",
                   args.trace_summary_path.c_str());
     } else {
       std::fprintf(stderr, "trace summary export failed: %s\n",
                    st.message().c_str());
+    }
+    if (slo > 0.0) {
+      // The --slo-ms roll-up, re-derived from exports alone so it can be
+      // cross-checked against any live report (docs/openloop.md).
+      const obs::SloSummary s = obs::SummarizeSloGoodput(logs, ledgers, slo);
+      std::printf(
+          "SLO %.3g ms: %lld/%lld sampled window traces under bound, "
+          "slo_goodput_per_joule=%.6g (window %.6g J)\n",
+          args.slo_ms, static_cast<long long>(s.under_slo),
+          static_cast<long long>(s.window_traces), s.slo_goodput_per_joule,
+          s.window_joules);
     }
   }
   if (!want_trace) logs.clear();  // summary-only run: skip the JSON export

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/table.h"
@@ -63,6 +64,43 @@ inline Duration MeasureWindowFor(double concurrency) {
   const Duration base = MeasureWindow();
   if (concurrency >= 1024 && base < Seconds(45)) return Seconds(45);
   return base;
+}
+
+// -- Coordinated-omission annotation (docs/openloop.md) ----------------
+//
+// The closed-loop Figure 4-9 benches can append tables comparing the
+// same completed calls' p99 measured two ways: from service start
+// (dispatch) and from the connection's intended Poisson arrival. The
+// flag is peeled from argv before ParseBenchArgs — which exits(2) on
+// anything it does not recognise — so the shared sweep flags keep
+// working and default output stays byte-identical.
+inline bool PeelOmissionFlag(int* argc, char** argv) {
+  bool found = false;
+  int w = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::string_view(argv[i]) == "--omission") {
+      found = true;
+      continue;
+    }
+    argv[w++] = argv[i];
+  }
+  *argc = w;
+  return found;
+}
+
+inline std::string FormatOmissionCell(double dispatch_p99_ms,
+                                      double intended_p99_ms) {
+  return TextTable::Num(dispatch_p99_ms, 1) + " / " +
+         TextTable::Num(intended_p99_ms, 1);
+}
+
+inline void PrintOmissionNote() {
+  std::printf(
+      "Cells: p99 (ms) of the same completed calls measured from service\n"
+      "start / from the connection's intended arrival. A growing gap is\n"
+      "coordinated omission — the closed-loop driver stops offering load\n"
+      "while it waits, so dispatch-relative tails understate what an\n"
+      "open-loop client would see (bench_slo_openloop, docs/openloop.md).\n");
 }
 
 }  // namespace wimpy::bench

@@ -14,7 +14,7 @@ void PrintUsage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--replications=N] [--threads=K] [--seed=S]\n"
                "          [--trace=FILE] [--metrics=FILE] "
-               "[--trace-summary=FILE]\n"
+               "[--trace-summary=FILE] [--slo-ms=T]\n"
                "  --replications=N  seeds per configuration (default 1)\n"
                "  --threads=K       sweep worker threads; 0 = hardware "
                "concurrency (default 0)\n"
@@ -26,7 +26,11 @@ void PrintUsage(const char* prog) {
                "CSV\n"
                "  --trace-summary=FILE\n"
                "                    export per-trace roll-up CSV (latency, "
-               "spans, joules)\n",
+               "spans, joules)\n"
+               "  --slo-ms=T        latency SLO in ms: adds the under_slo "
+               "column and the\n"
+               "                    slo_goodput_per_joule roll-up "
+               "(0 = off)\n",
                prog);
 }
 
@@ -38,6 +42,18 @@ bool ParseString(const char* arg, const char* flag, std::string* out) {
     std::exit(2);
   }
   *out = arg + n + 1;
+  return true;
+}
+
+bool ParseDouble(const char* arg, const char* flag, double* out) {
+  const std::size_t n = std::strlen(flag);
+  if (std::strncmp(arg, flag, n) != 0 || arg[n] != '=') return false;
+  char* end = nullptr;
+  *out = std::strtod(arg + n + 1, &end);
+  if (end == arg + n + 1 || *end != '\0') {
+    std::fprintf(stderr, "error: malformed value in '%s'\n", arg);
+    std::exit(2);
+  }
   return true;
 }
 
@@ -84,6 +100,11 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
         std::exit(2);
       }
       args.seed = static_cast<std::uint64_t>(value);
+    } else if (ParseDouble(argv[i], "--slo-ms", &args.slo_ms)) {
+      if (args.slo_ms < 0) {
+        std::fprintf(stderr, "error: --slo-ms must be >= 0\n");
+        std::exit(2);
+      }
     } else if (ParseString(argv[i], "--trace-summary",
                            &args.trace_summary_path) ||
                ParseString(argv[i], "--trace", &args.trace_path) ||

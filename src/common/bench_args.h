@@ -17,6 +17,10 @@
 //                      latency, span count, attributed joules) computed
 //                      by obs/critical_path.h; implies trace recording
 //                      even without --trace
+//   --slo-ms=T         latency SLO bound in milliseconds. Adds an
+//                      `under_slo` column to the --trace-summary CSV and
+//                      an slo_goodput_per_joule roll-up (under-SLO work
+//                      per window joule, docs/openloop.md); 0 = off
 //
 // Results never depend on --threads (see docs/parallel.md); it only
 // changes wall-clock time. Trace and metrics exports are likewise
@@ -36,6 +40,7 @@ struct BenchArgs {
   std::string trace_path;          // empty = no trace export
   std::string metrics_path;        // empty = no metrics export
   std::string trace_summary_path;  // empty = no per-trace summary CSV
+  double slo_ms = 0;               // 0 = no SLO column/roll-up
 };
 
 // Parses the shared flags above; prints usage and exits(2) on an unknown

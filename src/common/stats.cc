@@ -42,7 +42,9 @@ double OnlineStats::variance() const {
 double OnlineStats::stddev() const { return std::sqrt(variance()); }
 
 double PercentileTracker::Percentile(double q) const {
-  if (samples_.empty()) return 0.0;
+  // NaN, not 0: a zero p99 from an empty tracker would vacuously pass any
+  // SLO gate. Callers that feed bench JSON must check empty() first.
+  if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;

@@ -43,9 +43,11 @@ class PercentileTracker {
     sorted_ = false;
   }
   std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
 
-  // q in [0,1]; linear interpolation between order statistics.
-  // Returns 0 when empty.
+  // q clamped to [0,1]; linear interpolation between order statistics.
+  // Returns NaN when empty — never 0, which would vacuously pass SLO
+  // gates. Call sites feeding bench JSON must check empty() explicitly.
   double Percentile(double q) const;
   double Median() const { return Percentile(0.5); }
 

@@ -60,6 +60,22 @@ constexpr Duration Seconds(double n) { return n; }
 constexpr Duration Minutes(double n) { return n * 60.0; }
 constexpr Duration Hours(double n) { return n * 3600.0; }
 
+// -- Random-draw truncation ---------------------------------------------------
+
+// Truncates a randomly drawn size into a valid Bytes value of at least
+// max(floor, 1). Casting a negative, NaN, or >INT64_MAX double straight to
+// Bytes is undefined behaviour, so every drawn size must pass through here
+// *before* entering the integer domain; draws already in
+// [max(floor,1), 2^62] are returned unchanged.
+inline Bytes DrawnBytes(double draw, Bytes floor) {
+  const Bytes lo = floor < 1 ? 1 : floor;
+  // The comparison is written so NaN falls through to the floor.
+  if (!(draw >= static_cast<double>(lo))) return lo;
+  constexpr double kMax = 4.6e18;  // < 2^63, exactly representable
+  if (draw >= kMax) return static_cast<Bytes>(kMax);
+  return static_cast<Bytes>(draw);
+}
+
 // -- Conversions for reporting ----------------------------------------------
 
 constexpr double ToMilliseconds(Duration d) { return d * 1e3; }

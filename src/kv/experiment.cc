@@ -122,8 +122,11 @@ int RouteToHealthy(KvTestbed& tb, const std::vector<int>& pref) {
   return -1;
 }
 
+using KvGate = load::AdmissionGate<Rng>;
+
 sim::Process OneQuery(KvTestbed& tb, const KvExperimentConfig& config,
-                      KvWindow& window, Rng rng) {
+                      KvWindow& window, load::OpenLoopRecorder& recorder,
+                      KvGate& gate, SimTime intended, Rng rng) {
   const SimTime started = tb.sched.now();
   const int shard = tb.ring.ShardOf(rng.Next());
   const std::vector<int>& pref = tb.ring.Preference(shard);
@@ -141,10 +144,11 @@ sim::Process OneQuery(KvTestbed& tb, const KvExperimentConfig& config,
   if (store == nullptr) query_span.Instant("route_failed");
   const int client =
       tb.client_ids[rng.NextBelow(tb.client_ids.size())];
-  const Bytes value = std::max<Bytes>(
-      64, static_cast<Bytes>(rng.LogNormalMeanStd(
-              static_cast<double>(config.store.value_size_mean),
-              static_cast<double>(config.store.value_size_stddev))));
+  const Bytes value = DrawnBytes(
+      rng.LogNormalMeanStd(
+          static_cast<double>(config.store.value_size_mean),
+          static_cast<double>(config.store.value_size_stddev)),
+      64);
   bool ok = store != nullptr;
   if (ok && rng.Bernoulli(config.get_fraction)) {
     obs::CausalSpan op(query_span.handle(), "get", obs::Category::kRequest,
@@ -190,15 +194,51 @@ sim::Process OneQuery(KvTestbed& tb, const KvExperimentConfig& config,
       ++window.failed;
     }
   }
+  // Honest accounting: windowed by intended arrival, latency from it too.
+  recorder.OnComplete(intended, started, finished, ok);
+  // A completion frees a dispatch slot; the queue head (if any) inherits
+  // it and still measures from its own intended arrival.
+  if (auto next = gate.OnComplete()) {
+    sim::Spawn(tb.sched, OneQuery(tb, config, window, recorder, gate,
+                                  next->intended, std::move(next->payload)));
+  }
 }
 
 sim::Process Arrivals(KvTestbed& tb, const KvExperimentConfig& config,
-                      KvWindow& window, double qps, Rng rng) {
+                      KvWindow& window, load::OpenLoopRecorder& recorder,
+                      KvGate& gate, double qps, Rng rng) {
+  load::ArrivalConfig shape = config.openloop.arrival;
+  shape.rate = qps;
+  load::ArrivalProcess arrivals(shape);
   while (tb.sched.now() < window.end) {
-    co_await sim::Delay(tb.sched, rng.Exponential(qps));
+    co_await sim::Delay(tb.sched, arrivals.NextGap(rng));
     if (tb.sched.now() >= window.end) break;
-    sim::Spawn(tb.sched, OneQuery(tb, config, window, rng.Fork()));
+    const SimTime intended = tb.sched.now();
+    Rng child = rng.Fork();
+    switch (gate.Admit()) {
+      case load::Admission::kDispatch:
+        sim::Spawn(tb.sched, OneQuery(tb, config, window, recorder, gate,
+                                      intended, std::move(child)));
+        break;
+      case load::Admission::kQueue:
+        gate.Enqueue(intended, std::move(child));
+        break;
+      case load::Admission::kShed:
+        recorder.OnShed(intended);
+        break;
+    }
   }
+}
+
+void FillOpenLoopFields(const load::OpenLoopRecorder& recorder, Joules spent,
+                        KvReport* report) {
+  report->p99_intended_latency =
+      recorder.intended_percentiles().empty()
+          ? 0.0
+          : recorder.intended_percentiles().Percentile(0.99);
+  report->shed = recorder.shed();
+  report->slo_good_fraction = recorder.SloGoodFraction();
+  report->slo_goodput_per_joule = recorder.SloGoodputPerJoule(spent);
 }
 
 }  // namespace
@@ -231,9 +271,12 @@ KvReport KvExperiment::Measure(double target_qps, Duration measure) {
     if (tb.energy != nullptr) tb.energy->EndWindow();
   });
 
+  load::OpenLoopRecorder recorder(window.start, window.end,
+                                  config_.openloop.slo);
+  KvGate gate(config_.openloop);
   if (tb.metrics != nullptr) tb.metrics->Start(&tb.sched, Seconds(1));
-  sim::Spawn(tb.sched,
-             Arrivals(tb, config_, window, target_qps, tb.rng.Fork()));
+  sim::Spawn(tb.sched, Arrivals(tb, config_, window, recorder, gate,
+                                target_qps, tb.rng.Fork()));
   tb.sched.Run();
   // Final sample after the queue drains: cumulative counters now match
   // the report exactly.
@@ -243,7 +286,10 @@ KvReport KvExperiment::Measure(double target_qps, Duration measure) {
   report.target_qps = target_qps;
   report.achieved_qps = static_cast<double>(window.done) / measure;
   report.mean_latency = window.latency.mean();
-  report.p99_latency = window.percentiles.Percentile(0.99);
+  // Explicit empty() check: Percentile() on an empty tracker is NaN by
+  // design, and this field feeds bench tables/JSON.
+  report.p99_latency =
+      window.percentiles.empty() ? 0.0 : window.percentiles.Percentile(0.99);
   report.error_rate =
       window.done + window.failed == 0
           ? 0.0
@@ -253,6 +299,7 @@ KvReport KvExperiment::Measure(double target_qps, Duration measure) {
   report.queries_per_joule =
       spent > 0 ? static_cast<double>(window.done) / spent : 0;
   report.executed_events = tb.sched.executed_events();
+  FillOpenLoopFields(recorder, spent, &report);
   return report;
 }
 
@@ -294,9 +341,12 @@ KvReport KvExperiment::MeasureWithFailover(double target_qps,
     if (tb.energy != nullptr) tb.energy->EndWindow();
   });
 
+  load::OpenLoopRecorder recorder(window.start, window.end,
+                                  config_.openloop.slo);
+  KvGate gate(config_.openloop);
   if (tb.metrics != nullptr) tb.metrics->Start(&tb.sched, Seconds(1));
-  sim::Spawn(tb.sched,
-             Arrivals(tb, config_, window, target_qps, tb.rng.Fork()));
+  sim::Spawn(tb.sched, Arrivals(tb, config_, window, recorder, gate,
+                                target_qps, tb.rng.Fork()));
   tb.sched.Run();
   if (tb.metrics != nullptr) tb.metrics->SampleNow();
 
@@ -309,11 +359,13 @@ KvReport KvExperiment::MeasureWithFailover(double target_qps,
           : static_cast<double>(window.failed) /
                 static_cast<double>(window.done + window.failed);
   report.mean_latency = window.latency.mean();
-  report.p99_latency = window.percentiles.Percentile(0.99);
+  report.p99_latency =
+      window.percentiles.empty() ? 0.0 : window.percentiles.Percentile(0.99);
   report.store_power = spent / measure;
   report.queries_per_joule =
       spent > 0 ? static_cast<double>(window.done) / spent : 0;
   report.executed_events = tb.sched.executed_events();
+  FillOpenLoopFields(recorder, spent, &report);
   return report;
 }
 

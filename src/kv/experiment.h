@@ -10,6 +10,7 @@
 #include "common/units.h"
 #include "hw/profile.h"
 #include "kv/store.h"
+#include "load/openloop.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 
@@ -44,6 +45,12 @@ struct KvExperimentConfig {
   // queries_per_joule (the golden test re-derives that quotient from the
   // trace + ledger alone). Borrowed; may be null.
   obs::EnergyAttributor* energy = nullptr;
+  // Open-loop load shape (docs/openloop.md): arrival model/burstiness,
+  // client-side admission gate, SLO bound. `openloop.arrival.rate` is
+  // overridden by the per-run target qps. The default (Poisson, unbounded,
+  // no SLO) reproduces the legacy generator draw-for-draw, so the seed-77
+  // trace golden stays valid.
+  load::OpenLoopConfig openloop;
 };
 
 struct KvReport {
@@ -57,6 +64,14 @@ struct KvReport {
   // Engine events the whole replication executed (scheduler counter at
   // drain); bench_scale_macro divides by wall-clock for events/s.
   std::uint64_t executed_events = 0;
+  // Coordinated-omission-free measurement (docs/openloop.md): latency
+  // from the intended arrival rather than dispatch, client-side sheds,
+  // and SLO-conditioned efficiency. Zero when config.openloop leaves the
+  // defaults (no gate, no SLO).
+  Duration p99_intended_latency = 0;
+  std::int64_t shed = 0;
+  double slo_good_fraction = 0;      // under-SLO completions / offered
+  double slo_goodput_per_joule = 0;  // under-SLO completions / window ∫P dt
 };
 
 class KvExperiment {

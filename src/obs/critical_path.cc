@@ -159,9 +159,47 @@ std::vector<TraceSummaryRow> SummarizeTraces(
   return rows;
 }
 
+SloSummary SummarizeSloGoodput(const std::vector<TraceLog>& logs,
+                               const std::vector<EnergyLedger>& ledgers,
+                               Duration slo) {
+  SloSummary summary;
+  for (const TraceLog& log : logs) {
+    // Window marks are plain instants in the event stream; a log without
+    // them (no measurement window) contributes no traces.
+    SimTime measure_start = -1;
+    SimTime measure_end = -1;
+    for (const TraceEvent& e : log.events) {
+      const std::string_view name(e.name);
+      if (name == "measure_start") measure_start = e.time;
+      if (name == "measure_end") measure_end = e.time;
+    }
+    if (measure_start < 0 || measure_end <= measure_start) continue;
+    for (const TraceTree& tree : BuildTraceTrees(log)) {
+      if (tree.spans.empty()) continue;
+      const SpanRecord& root = tree.spans[tree.root];
+      if (root.begin < measure_start || root.begin >= measure_end) continue;
+      ++summary.window_traces;
+      if (tree.complete && root.end - root.begin <= slo) {
+        ++summary.under_slo;
+      }
+    }
+  }
+  for (const EnergyLedger& ledger : ledgers) {
+    summary.window_joules += ledger.window_joules;
+  }
+  summary.slo_goodput_per_joule =
+      summary.window_joules > 0
+          ? static_cast<double>(summary.under_slo) / summary.window_joules
+          : 0.0;
+  return summary;
+}
+
 std::string RenderTraceSummaryCsv(const std::vector<TraceLog>& logs,
-                                  const std::vector<EnergyLedger>& ledgers) {
-  std::string out = "series,trace_id,root,begin_s,latency_s,spans,complete,joules\n";
+                                  const std::vector<EnergyLedger>& ledgers,
+                                  Duration slo) {
+  std::string out = "series,trace_id,root,begin_s,latency_s,spans,complete,joules";
+  if (slo > 0.0) out += ",under_slo";
+  out += '\n';
   for (const TraceSummaryRow& r : SummarizeTraces(logs, ledgers)) {
     out += std::to_string(r.series);
     out += ',';
@@ -178,6 +216,10 @@ std::string RenderTraceSummaryCsv(const std::vector<TraceLog>& logs,
     out += r.complete ? '1' : '0';
     out += ',';
     out += Num(r.joules);
+    if (slo > 0.0) {
+      out += ',';
+      out += (r.complete && r.latency <= slo) ? '1' : '0';
+    }
     out += '\n';
   }
   return out;
@@ -185,8 +227,8 @@ std::string RenderTraceSummaryCsv(const std::vector<TraceLog>& logs,
 
 Status WriteTraceSummaryCsv(const std::vector<TraceLog>& logs,
                             const std::vector<EnergyLedger>& ledgers,
-                            const std::string& path) {
-  const std::string doc = RenderTraceSummaryCsv(logs, ledgers);
+                            const std::string& path, Duration slo) {
+  const std::string doc = RenderTraceSummaryCsv(logs, ledgers, slo);
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return Status::Unavailable("cannot open for writing: " + path);

@@ -107,15 +107,36 @@ std::vector<TraceSummaryRow> SummarizeTraces(
     const std::vector<TraceLog>& logs,
     const std::vector<EnergyLedger>& ledgers);
 
+// SLO-conditioned goodput derived purely from the exports
+// (docs/openloop.md): sampled traces whose root begins inside the
+// [measure_start, measure_end) window marks, completed with latency <=
+// slo, per joule of the ledgers' window subtotal (∫P dt between
+// BeginWindow/EndWindow). With 1-in-N trace sampling the numerator counts
+// sampled traces only; at trace_sample_every=1 it matches the live
+// report's under-SLO counter exactly (tests/obs_energy_test.cc).
+struct SloSummary {
+  std::int64_t window_traces = 0;    // sampled roots beginning in-window
+  std::int64_t under_slo = 0;        // of those: complete && latency <= slo
+  Joules window_joules = 0;          // summed over ledgers
+  double slo_goodput_per_joule = 0;  // under_slo / window_joules
+};
+SloSummary SummarizeSloGoodput(const std::vector<TraceLog>& logs,
+                               const std::vector<EnergyLedger>& ledgers,
+                               Duration slo);
+
 // CSV with header
 //   series,trace_id,root,begin_s,latency_s,spans,complete,joules
 // Numbers render with the same %.9g contract as the trace/metrics
-// exporters, so the file is byte-identical across --threads.
+// exporters, so the file is byte-identical across --threads. When
+// `slo` > 0 (--slo-ms) an extra `under_slo` column appends 1 for rows
+// that completed within the bound — the default header stays
+// byte-identical for existing consumers.
 std::string RenderTraceSummaryCsv(const std::vector<TraceLog>& logs,
-                                  const std::vector<EnergyLedger>& ledgers);
+                                  const std::vector<EnergyLedger>& ledgers,
+                                  Duration slo = 0.0);
 Status WriteTraceSummaryCsv(const std::vector<TraceLog>& logs,
                             const std::vector<EnergyLedger>& ledgers,
-                            const std::string& path);
+                            const std::string& path, Duration slo = 0.0);
 
 }  // namespace wimpy::obs
 

@@ -163,8 +163,11 @@ int RouteToHealthy(ShardTestbed& tb, int shard) {
   return -1;
 }
 
+using ShardGate = load::AdmissionGate<Rng>;
+
 sim::Process OneQuery(ShardTestbed& tb, const ShardExperimentConfig& config,
-                      ShardWindow& window, Rng rng) {
+                      ShardWindow& window, load::OpenLoopRecorder& recorder,
+                      ShardGate& gate, SimTime intended, Rng rng) {
   const SimTime started = tb.sched.now();
   const int shard = tb.router->ShardOf(rng.Next());
   const int serving = RouteToHealthy(tb, shard);
@@ -176,10 +179,11 @@ sim::Process OneQuery(ShardTestbed& tb, const ShardExperimentConfig& config,
                              obs::Category::kRequest, shard);
   if (serving < 0) query_span.Instant("route_failed");
   const int client = tb.client_ids[rng.NextBelow(tb.client_ids.size())];
-  const Bytes value = std::max<Bytes>(
-      64, static_cast<Bytes>(rng.LogNormalMeanStd(
-              static_cast<double>(config.store.value_size_mean),
-              static_cast<double>(config.store.value_size_stddev))));
+  const Bytes value = DrawnBytes(
+      rng.LogNormalMeanStd(
+          static_cast<double>(config.store.value_size_mean),
+          static_cast<double>(config.store.value_size_stddev)),
+      64);
   const bool ok = serving >= 0;
   if (ok) {
     kv::KvNode* store = tb.stores[static_cast<std::size_t>(serving)].get();
@@ -241,14 +245,39 @@ sim::Process OneQuery(ShardTestbed& tb, const ShardExperimentConfig& config,
       ++window.failed;
     }
   }
+  // Honest accounting: windowed by intended arrival, latency from it too.
+  recorder.OnComplete(intended, started, finished, ok);
+  // A completion frees a dispatch slot; the queue head (if any) inherits
+  // it and still measures from its own intended arrival.
+  if (auto next = gate.OnComplete()) {
+    sim::Spawn(tb.sched, OneQuery(tb, config, window, recorder, gate,
+                                  next->intended, std::move(next->payload)));
+  }
 }
 
 sim::Process Arrivals(ShardTestbed& tb, const ShardExperimentConfig& config,
-                      ShardWindow& window, double qps, Rng rng) {
+                      ShardWindow& window, load::OpenLoopRecorder& recorder,
+                      ShardGate& gate, double qps, Rng rng) {
+  load::ArrivalConfig shape = config.openloop.arrival;
+  shape.rate = qps;
+  load::ArrivalProcess arrivals(shape);
   while (tb.sched.now() < window.end) {
-    co_await sim::Delay(tb.sched, rng.Exponential(qps));
+    co_await sim::Delay(tb.sched, arrivals.NextGap(rng));
     if (tb.sched.now() >= window.end) break;
-    sim::Spawn(tb.sched, OneQuery(tb, config, window, rng.Fork()));
+    const SimTime intended = tb.sched.now();
+    Rng child = rng.Fork();
+    switch (gate.Admit()) {
+      case load::Admission::kDispatch:
+        sim::Spawn(tb.sched, OneQuery(tb, config, window, recorder, gate,
+                                      intended, std::move(child)));
+        break;
+      case load::Admission::kQueue:
+        gate.Enqueue(intended, std::move(child));
+        break;
+      case load::Admission::kShed:
+        recorder.OnShed(intended);
+        break;
+    }
   }
 }
 
@@ -308,9 +337,12 @@ ShardReport ShardExperiment::Measure(double target_qps, Duration measure) {
     if (tb.energy != nullptr) tb.energy->EndWindow();
   });
 
+  load::OpenLoopRecorder recorder(window.start, window.end,
+                                  config_.openloop.slo);
+  ShardGate gate(config_.openloop);
   if (tb.metrics != nullptr) tb.metrics->Start(&tb.sched, Seconds(1));
-  sim::Spawn(tb.sched,
-             Arrivals(tb, config_, window, target_qps, tb.rng.Fork()));
+  sim::Spawn(tb.sched, Arrivals(tb, config_, window, recorder, gate,
+                                target_qps, tb.rng.Fork()));
   tb.sched.Run();
   if (tb.metrics != nullptr) tb.metrics->SampleNow();
 
@@ -327,7 +359,8 @@ ShardReport ShardExperiment::Measure(double target_qps, Duration measure) {
           : static_cast<double>(window.failed) /
                 static_cast<double>(window.done + window.failed);
   report.mean_latency = window.latency.mean();
-  report.p99_latency = window.percentiles.Percentile(0.99);
+  report.p99_latency =
+      window.percentiles.empty() ? 0.0 : window.percentiles.Percentile(0.99);
   report.store_power = spent / measure;
   report.queries_per_joule =
       spent > 0 ? static_cast<double>(window.done) / spent : 0;
@@ -352,6 +385,13 @@ ShardReport ShardExperiment::Measure(double target_qps, Duration measure) {
   }
   report.migration = migration;
   report.executed_events = tb.sched.executed_events();
+  report.p99_intended_latency =
+      recorder.intended_percentiles().empty()
+          ? 0.0
+          : recorder.intended_percentiles().Percentile(0.99);
+  report.shed = recorder.shed();
+  report.slo_good_fraction = recorder.SloGoodFraction();
+  report.slo_goodput_per_joule = recorder.SloGoodputPerJoule(spent);
   return report;
 }
 

@@ -18,6 +18,7 @@
 #include "common/units.h"
 #include "hw/profile.h"
 #include "kv/store.h"
+#include "load/openloop.h"
 #include "shard/migrator.h"
 #include "shard/ring.h"
 
@@ -59,6 +60,12 @@ struct ShardExperimentConfig {
   obs::MetricsRegistry* metrics = nullptr;
   obs::EnergyAttributor* energy = nullptr;
   int trace_sample_every = 64;
+  // Open-loop load shape (docs/openloop.md): arrival model/burstiness,
+  // client-side admission gate, SLO bound. `openloop.arrival.rate` is
+  // overridden by Measure's target_qps. The default (Poisson, unbounded,
+  // no SLO) reproduces the legacy generator draw-for-draw, so golden
+  // traces and BENCH_shard.json stay valid.
+  load::OpenLoopConfig openloop;
 
   ShardExperimentConfig();
   int ring_nodes() const { return racks * nodes_per_rack; }
@@ -88,6 +95,14 @@ struct ShardReport {
   double max_core_link_busy = 0;
   MigrationStats migration;  // zeroed when churn == kNone
   std::uint64_t executed_events = 0;
+  // Coordinated-omission-free measurement (docs/openloop.md): latency from
+  // the intended arrival rather than dispatch, client-side sheds, and
+  // SLO-conditioned efficiency. Zero when config.openloop leaves the
+  // defaults (no gate, no SLO).
+  Duration p99_intended_latency = 0;
+  std::int64_t shed = 0;
+  double slo_good_fraction = 0;      // under-SLO completions / offered
+  double slo_goodput_per_joule = 0;  // under-SLO completions / window ∫P dt
 };
 
 class ShardExperiment {

@@ -23,6 +23,7 @@
 #include "common/stats.h"
 #include "common/units.h"
 #include "hw/profile.h"
+#include "load/openloop.h"
 #include "web/backend.h"
 #include "web/web_server.h"
 #include "web/workload.h"
@@ -90,6 +91,17 @@ struct LevelReport {
   // Engine events the whole replication executed (scheduler counter at
   // drain); bench_scale_macro divides by wall-clock for events/s.
   std::uint64_t executed_events = 0;
+  // Closed-loop omission annotation (docs/openloop.md): the same OK calls
+  // measured from the call's service start (dispatch on an already-open
+  // connection) vs from the connection's intended start (its Poisson
+  // arrival). The gap — invisible in `response` — is how much latency the
+  // closed loop hid inside earlier calls on the same connection. Passive
+  // bookkeeping: recording them draws nothing and changes no goldens;
+  // benches only print them behind --omission.
+  OnlineStats dispatch_response;
+  OnlineStats conn_intended_response;
+  Duration p99_dispatch = 0;
+  Duration p99_conn_intended = 0;
 };
 
 // Result of an open-loop delay-distribution run.
@@ -103,6 +115,20 @@ struct OpenLoopReport {
   OnlineStats total_delay;     // server-side, excludes reconnect delay
   OnlineStats client_delay;    // includes SYN backoff
   std::uint64_t executed_events = 0;
+  // Open-loop honesty fields (docs/openloop.md). `offered_rps` counts
+  // every intended arrival in the window including sheds;
+  // `intended_delay` measures completion minus intended arrival (queue
+  // wait at the client gate included), which equals `client_delay` when
+  // the gate is unbounded.
+  double offered_rps = 0;
+  std::int64_t shed = 0;
+  OnlineStats intended_delay;
+  Duration p99_intended = 0;
+  Duration p99_client = 0;
+  double slo_good_fraction = 0;      // under-SLO completions / offered
+  double slo_goodput_per_joule = 0;  // under-SLO completions / window ∫P dt
+  Watts middle_tier_power = 0;       // web+cache aggregate mean over window
+  Joules window_joules = 0;
 };
 
 class WebExperiment {
@@ -116,8 +142,18 @@ class WebExperiment {
                                 Duration warmup = Seconds(5),
                                 Duration measure = Seconds(30));
 
-  // Runs the python-client open-loop test on a fresh testbed.
+  // Runs the python-client open-loop test on a fresh testbed. The
+  // two-argument form keeps the legacy shape (Poisson, unbounded gate, no
+  // SLO) and is draw-for-draw identical to the pre-load-engine generator.
   OpenLoopReport MeasureOpenLoop(const WorkloadMix& mix, double target_rps,
+                                 Duration measure = Seconds(30),
+                                 double histogram_max_s = 8.0,
+                                 std::size_t histogram_buckets = 32);
+  // Full open-loop engine: arrival model/burstiness from
+  // `load_config.arrival` (its rate field is the offered rps), client-side
+  // admission gate, and SLO-conditioned reporting (docs/openloop.md).
+  OpenLoopReport MeasureOpenLoop(const WorkloadMix& mix,
+                                 const load::OpenLoopConfig& load_config,
                                  Duration measure = Seconds(30),
                                  double histogram_max_s = 8.0,
                                  std::size_t histogram_buckets = 32);

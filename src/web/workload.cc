@@ -11,9 +11,10 @@ RequestSpec WorkloadMix::Sample(Rng& rng) const {
       spec.is_image ? image_reply_mean : plain_reply_mean);
   const double stddev = static_cast<double>(
       spec.is_image ? image_reply_stddev : plain_reply_stddev);
-  spec.reply_bytes =
-      std::max<Bytes>(128, static_cast<Bytes>(
-                               rng.LogNormalMeanStd(mean, stddev)));
+  // DrawnBytes truncates in the double domain: a non-positive or
+  // non-finite draw lands on the floor instead of hitting the undefined
+  // double→int64 cast the old max-after-cast pattern allowed.
+  spec.reply_bytes = DrawnBytes(rng.LogNormalMeanStd(mean, stddev), 128);
   spec.cache_hit = rng.Bernoulli(cache_hit_ratio);
   return spec;
 }

@@ -103,11 +103,27 @@ TEST(PercentileTrackerTest, ExactQuartiles) {
   EXPECT_NEAR(t.Percentile(0.99), 99.01, 1e-9);
 }
 
-TEST(PercentileTrackerTest, EmptyReturnsZero) {
+TEST(PercentileTrackerTest, EmptyReturnsNaN) {
+  // NaN, never 0: a zero p99 from an empty tracker would vacuously pass
+  // any SLO gate. Callers feeding bench JSON must check empty() first.
   PercentileTracker t;
-  EXPECT_DOUBLE_EQ(t.Percentile(0.0), 0.0);
-  EXPECT_DOUBLE_EQ(t.Percentile(0.5), 0.0);
-  EXPECT_DOUBLE_EQ(t.Percentile(1.0), 0.0);
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(std::isnan(t.Percentile(0.0)));
+  EXPECT_TRUE(std::isnan(t.Percentile(0.5)));
+  EXPECT_TRUE(std::isnan(t.Percentile(1.0)));
+  EXPECT_TRUE(std::isnan(t.Median()));
+  t.Add(3.0);
+  EXPECT_FALSE(t.empty());
+  EXPECT_DOUBLE_EQ(t.Percentile(0.5), 3.0);
+}
+
+TEST(PercentileTrackerTest, QuantileClampedToUnitInterval) {
+  PercentileTracker t;
+  t.Add(1.0);
+  t.Add(2.0);
+  t.Add(3.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(1.5), 3.0);
 }
 
 TEST(PercentileTrackerTest, SingleSampleIsEveryPercentile) {

@@ -253,5 +253,76 @@ TEST(TraceDerivationTest, KvQueriesPerJouleMatchesReport) {
               report.queries_per_joule * 1e-6);
 }
 
+// The open-loop satellite's golden (docs/openloop.md): with every query
+// sampled, slo_goodput_per_joule must be re-derivable from the trace +
+// ledger exports alone — both by hand (scan the trees) and through
+// SummarizeSloGoodput, the helper the --trace-summary roll-up prints.
+TEST(TraceDerivationTest, SloGoodputPerJouleMatchesReport) {
+  const Duration slo = Milliseconds(8);  // bisects the Edison KV latency
+  kv::KvExperimentConfig config;
+  config.node_profile = hw::EdisonProfile();
+  config.node_count = 4;
+  config.seed = 77;
+  config.openloop.slo = slo;  // default gate stays unbounded: no sheds
+  Tracer tracer;
+  EnergyAttributor energy;
+  config.tracer = &tracer;
+  config.trace_sample_every = 1;
+  config.energy = &energy;
+  kv::KvExperiment exp(std::move(config));
+  const kv::KvReport report = exp.Measure(800.0, Seconds(4));
+
+  const std::vector<TraceLog> logs = {tracer.TakeLog()};
+  const std::vector<EnergyLedger> ledgers = {energy.TakeLedger()};
+  SimTime measure_start = -1;
+  SimTime measure_end = -1;
+  for (const TraceEvent& e : logs[0].events) {
+    const std::string_view name(e.name);
+    if (name == "measure_start") measure_start = e.time;
+    if (name == "measure_end") measure_end = e.time;
+  }
+  ASSERT_GE(measure_start, 0.0);
+  ASSERT_GT(measure_end, measure_start);
+
+  // Hand derivation. With the unbounded gate every query dispatches at
+  // its intended arrival, so the root span's begin IS the intended time
+  // and its extent IS the honest latency the recorder scored.
+  std::int64_t offered = 0, under = 0, failed = 0;
+  for (const TraceTree& tree : BuildTraceTrees(logs[0])) {
+    const SpanRecord& root = tree.spans[tree.root];
+    if (root.begin < measure_start || root.begin >= measure_end) continue;
+    ++offered;
+    if (HasInstant(tree, root.span_id, "route_failed")) {
+      ++failed;
+      continue;
+    }
+    if (tree.complete && root.end - root.begin <= slo) ++under;
+  }
+  // The steady 4-node ring routes everything; a failure here would break
+  // the recorder/trace equivalence this test pins.
+  ASSERT_EQ(failed, 0);
+  ASSERT_GT(offered, 100);
+  // The SLO genuinely bisects the distribution — both sides populated.
+  EXPECT_GT(under, 0);
+  EXPECT_LT(under, offered);
+
+  EXPECT_NEAR(report.slo_good_fraction,
+              static_cast<double>(under) / static_cast<double>(offered),
+              1e-12);
+  ASSERT_GT(ledgers[0].window_joules, 0.0);
+  const double derived =
+      static_cast<double>(under) / ledgers[0].window_joules;
+  EXPECT_NEAR(derived, report.slo_goodput_per_joule,
+              report.slo_goodput_per_joule * 1e-6);
+
+  // The packaged helper agrees with the hand derivation exactly.
+  const SloSummary s = SummarizeSloGoodput(logs, ledgers, slo);
+  EXPECT_EQ(s.window_traces, offered);
+  EXPECT_EQ(s.under_slo, under);
+  EXPECT_NEAR(s.window_joules, ledgers[0].window_joules, 1e-12);
+  EXPECT_NEAR(s.slo_goodput_per_joule, report.slo_goodput_per_joule,
+              report.slo_goodput_per_joule * 1e-6);
+}
+
 }  // namespace
 }  // namespace wimpy::obs

@@ -13,6 +13,7 @@
 #   OBS_THRESHOLD_PCT=5 SKIP_OBS_RUN=1 tools/check_bench_regression.sh
 #   SKIP_MACRO=1 MACRO_REPS=3 MACRO_RUNS=2 tools/check_bench_regression.sh
 #   SKIP_SHARD=1 tools/check_bench_regression.sh
+#   SKIP_SLO=1 tools/check_bench_regression.sh
 #
 # After the engine microbenchmarks, the end-to-end macro suite
 # (bench_scale_macro: whole-replication throughput at 10k/100k simulated
@@ -23,7 +24,11 @@
 # is simulated in-window goodput qps — deterministic for the pinned seed,
 # so one run with no retries suffices and any >THRESHOLD_PCT delta is a
 # real behavioral change (e.g. the oversubscription bend moving), not
-# host noise. Set SKIP_SHARD=1 to skip it.
+# host noise. Set SKIP_SHARD=1 to skip it. The open-loop SLO sweep
+# (bench_slo_openloop, docs/openloop.md) is gated the same deterministic
+# way against BENCH_slo.json — its items_per_second is under-SLO
+# completions per second, so a delta means the latency distribution or
+# the admission/shedding behavior moved. Set SKIP_SLO=1 to skip it.
 #
 # Benchmarks present in only one of the two runs (e.g. newly added ones
 # with no baseline yet) are reported but never fail the check.
@@ -62,6 +67,7 @@ BUILD_DIR="${BUILD_DIR:-build}"
 BASELINE="${BASELINE:-BENCH_engine.json}"
 MACRO_BASELINE="${MACRO_BASELINE:-BENCH_macro.json}"
 SHARD_BASELINE="${SHARD_BASELINE:-BENCH_shard.json}"
+SLO_BASELINE="${SLO_BASELINE:-BENCH_slo.json}"
 THRESHOLD_PCT="${THRESHOLD_PCT:-20}"
 OBS_THRESHOLD_PCT="${OBS_THRESHOLD_PCT:-2}"
 REPS="${REPS:-5}"
@@ -78,9 +84,10 @@ fi
 CURRENT_FILES=()
 MACRO_FILES=()
 SHARD_FILES=()
+SLO_FILES=()
 RETRY_FILTER="$(mktemp /tmp/bench_retry.XXXXXX)"
 trap 'rm -f "${CURRENT_FILES[@]}" "${MACRO_FILES[@]}" "${SHARD_FILES[@]}" \
-  "${RETRY_FILTER}"' EXIT
+  "${SLO_FILES[@]}" "${RETRY_FILTER}"' EXIT
 for run in $(seq "${RUNS}"); do
   echo "== suite invocation ${run}/${RUNS} =="
   f="$(mktemp /tmp/bench_engine.XXXXXX.json)"
@@ -264,6 +271,21 @@ if [[ "${SKIP_SHARD:-0}" == "0" && -f "${SHARD_BASELINE}" ]]; then
   BUILD_DIR="${BUILD_DIR}" SUITE=shard OUT="${f}" tools/run_engine_bench.sh
   if ! compare "${SHARD_BASELINE}" "${f}"; then
     echo "FAIL: shard scale-out sweep drifted from ${SHARD_BASELINE}."
+    exit 1
+  fi
+fi
+
+# Open-loop SLO gate: under-SLO goodput per cell vs the committed
+# BENCH_slo.json. Deterministic like the shard sweep — a delta is a real
+# change in tail latency, admission, or energy accounting.
+if [[ "${SKIP_SLO:-0}" == "0" && -f "${SLO_BASELINE}" ]]; then
+  echo
+  echo "== open-loop SLO suite (SKIP_SLO=1 to skip) =="
+  f="$(mktemp /tmp/bench_slo.XXXXXX.json)"
+  SLO_FILES+=("${f}")
+  BUILD_DIR="${BUILD_DIR}" SUITE=slo OUT="${f}" tools/run_engine_bench.sh
+  if ! compare "${SLO_BASELINE}" "${f}"; then
+    echo "FAIL: open-loop SLO sweep drifted from ${SLO_BASELINE}."
     exit 1
   fi
 fi

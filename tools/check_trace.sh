@@ -28,6 +28,11 @@
 # trace_analyze.py golden (tests/data/trace_analyze_shard_seed77.txt);
 # --determinism output must be byte-identical at --threads=1 vs 8.
 #
+# A sixth section validates the open-loop SLO surface (docs/openloop.md):
+# the --slo-ms trace-summary schema (base header unchanged, under_slo
+# column appended with 0/1 values, slo_goodput_per_joule roll-up printed)
+# and bench_slo_openloop --determinism byte-identical at --threads=1 vs 8.
+#
 # Usage:
 #   cmake -B build -S . && cmake --build build -j
 #   tools/check_trace.sh
@@ -45,7 +50,7 @@ BUILD_DIR="${BUILD_DIR:-build}"
 BENCHES=(bench_fig4_7_web_light bench_fig10_11_delay_hist
          bench_fig12_17_mr_timelines)
 for name in "${BENCHES[@]}" bench_kv_queries_per_joule bench_scale_macro \
-            bench_shard_scaleout; do
+            bench_shard_scaleout bench_slo_openloop; do
   if [[ ! -x "${BUILD_DIR}/bench/${name}" ]]; then
     echo "error: ${BUILD_DIR}/bench/${name} not found; build it first:" >&2
     echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
@@ -316,5 +321,44 @@ if [[ "${CHECK_DETERMINISM:-0}" != "0" ]]; then
     || { echo "error: shard summary differs across --threads" >&2; exit 1; }
   echo "determinism OK: shard trace + summary byte-identical at --threads=1 and 8"
 fi
+
+# --- open-loop SLO surface: --slo-ms schema + sweep determinism ---------
+# The --slo-ms flag must append exactly one under_slo column (0/1) to the
+# trace-summary CSV — the default header is pinned above, so existing
+# consumers never see it — and print the slo_goodput_per_joule roll-up
+# re-derived from exports alone (docs/openloop.md).
+slo_summary="${WORK}/kv77_slo.summary.csv"
+echo "== --slo-ms trace-summary schema (--seed=77, --slo-ms=8) =="
+"${kv_bin}" --replications=1 --threads=1 --seed=77 --slo-ms=8 \
+  --trace-summary="${slo_summary}" > "${WORK}/kv77_slo.stdout.txt"
+head -n 1 "${slo_summary}" | grep -qx \
+  'series,trace_id,root,begin_s,latency_s,spans,complete,joules,under_slo' \
+  || { echo "error: bad --slo-ms trace-summary header" >&2; exit 1; }
+bad="$(tail -n +2 "${slo_summary}" \
+  | awk -F, 'NF != 9 || ($9 != 0 && $9 != 1)' | head -n 3)"
+if [[ -n "${bad}" ]]; then
+  echo "error: malformed under_slo rows:" >&2
+  echo "${bad}" >&2
+  exit 1
+fi
+grep -q 'slo_goodput_per_joule=' "${WORK}/kv77_slo.stdout.txt" \
+  || { echo "error: --slo-ms did not print the SLO roll-up" >&2; exit 1; }
+under="$(tail -n +2 "${slo_summary}" | awk -F, '$9 == 1' | wc -l)"
+total="$(($(wc -l < "${slo_summary}") - 1))"
+echo "under_slo column OK: ${under}/${total} rows within the 8 ms bound"
+
+# The open-loop sweep itself (arrival schedules, gate, recorder, energy
+# roll-up) is a pure function of the seed at any --threads.
+slo_bin="${BUILD_DIR}/bench/bench_slo_openloop"
+echo "== bench_slo_openloop (open-loop sweep determinism, --seed=77) =="
+for t in 1 8; do
+  "${slo_bin}" --determinism --replications=2 --seed=77 \
+    --threads="${t}" > "${WORK}/slo_det_t${t}.txt"
+done
+cmp "${WORK}/slo_det_t1.txt" "${WORK}/slo_det_t8.txt" \
+  || { echo "error: open-loop determinism output differs across --threads" >&2; \
+       exit 1; }
+echo "determinism OK: open-loop sweep stats byte-identical" \
+     "at --threads=1 and 8 ($(wc -l < "${WORK}/slo_det_t1.txt") lines)"
 
 echo "OK: trace and metrics exports validate"

@@ -10,6 +10,10 @@
 #                           simulated goodput/p99/rebalance over replication
 #                           x oversubscription) -> BENCH_shard.json
 #                           (docs/sharding.md; deterministic, REPS unused)
+#   SUITE=slo:              open-loop SLO sweep (bench_slo_openloop, arrival
+#                           rate x burstiness x SLO, under-SLO goodput and
+#                           slo_goodput_per_joule) -> BENCH_slo.json
+#                           (docs/openloop.md; deterministic, REPS unused)
 #
 # Usage:
 #   tools/run_engine_bench.sh                  # default: build/ -> BENCH_engine.json
@@ -58,6 +62,22 @@ if [[ "${SUITE}" == "shard" ]]; then
   # items_per_second is simulated in-window goodput qps — a pure function
   # of the seed, so one replication suffices and FILTER (used by targeted
   # regression re-runs) is a no-op: the whole sweep re-runs, cheaply.
+  "${BIN}" --replications=1 --json="${OUT}"
+  echo "wrote ${OUT}"
+  exit 0
+fi
+
+if [[ "${SUITE}" == "slo" ]]; then
+  OUT="${OUT:-BENCH_slo.json}"
+  BIN="${BUILD_DIR}/bench/bench_slo_openloop"
+  if [[ ! -x "${BIN}" ]]; then
+    echo "error: ${BIN} not found; build it first:" >&2
+    echo "  cmake -B ${BUILD_DIR} -S . -DCMAKE_BUILD_TYPE=Release && cmake --build ${BUILD_DIR} -j" >&2
+    exit 1
+  fi
+  # items_per_second is simulated under-SLO completions per second
+  # (coordinated-omission-free) — a pure function of the seed, so one
+  # replication suffices and FILTER is a no-op like the shard suite.
   "${BIN}" --replications=1 --json="${OUT}"
   echo "wrote ${OUT}"
   exit 0
