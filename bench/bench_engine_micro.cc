@@ -14,6 +14,8 @@
 #include "kernels/sysbench.h"
 #include "mapreduce/compute.h"
 #include "mapreduce/textgen.h"
+#include "obs/sketch.h"
+#include "obs/telemetry.h"
 #include "obs/tracer.h"
 #include "sim/fair_share.h"
 #include "sim/process.h"
@@ -278,6 +280,64 @@ void BM_ParallelSweep(benchmark::State& state) {
                           kReplications);
 }
 BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// Telemetry hot path (obs/telemetry.h): one histogram Record — a sketch
+// bucket increment plus the open bucket's count/sum/min/max fold. This
+// runs on every completion when the telemetry plane is armed, so it has
+// to stay allocation-free and a few ns.
+void BM_RollupRecord(benchmark::State& state) {
+  obs::Telemetry telemetry;
+  obs::Histogram lat = telemetry.AddHistogram("lat");
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int i = 0; i < n; ++i) {
+      lat.Record(1e-4 * (1 + i % 997));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RollupRecord)->Arg(100000);
+
+// The same loop with the plane compiled in but disabled: the contract is
+// a single branch per call (docs/telemetry.md). This variant is the one
+// tools/check_bench_regression.sh gates against BENCH_engine.json — an
+// enabled-plane slowdown is a tuning problem, a disabled-plane slowdown
+// is a tax on every run.
+void BM_RollupRecordDisabled(benchmark::State& state) {
+  obs::Telemetry telemetry;
+  obs::Histogram lat = telemetry.AddHistogram("lat");
+  telemetry.set_enabled(false);
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int i = 0; i < n; ++i) {
+      lat.Record(1e-4 * (1 + i % 997));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RollupRecordDisabled)->Arg(100000);
+
+// Sketch merge cost: folding `range` shard sketches into a fresh
+// accumulator — the RunSweep index-order merge and every windowed
+// quantile Query pay this per closed bucket.
+void BM_SketchMergeMany(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  std::vector<obs::HdrSketch> sketches(shards);
+  Rng rng(7);
+  for (int s = 0; s < shards; ++s) {
+    for (int i = 0; i < 512; ++i) {
+      sketches[s].Record(rng.Exponential(1000.0));  // ~1 ms latencies
+    }
+  }
+  obs::HdrSketch total;
+  for (auto _ : state) {
+    total.Reset();
+    for (const obs::HdrSketch& s : sketches) total.Merge(s);
+    benchmark::DoNotOptimize(total.Quantile(0.99));
+  }
+  state.SetItemsProcessed(state.iterations() * shards);
+}
+BENCHMARK(BM_SketchMergeMany)->Arg(64);
 
 void BM_DhrystoneKernel(benchmark::State& state) {
   for (auto _ : state) {

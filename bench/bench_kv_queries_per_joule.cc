@@ -9,7 +9,12 @@
 // --threads workers and reports mean±95% CI (docs/parallel.md). --trace /
 // --metrics export sampled query spans and per-store node probes;
 // --trace-summary adds the per-query latency/joules roll-up CSV
-// (docs/observability.md).
+// (docs/observability.md). --telemetry / --alerts turn on the online
+// telemetry plane (docs/telemetry.md): rollup-bucket and alert-instant
+// CSVs. Telemetry runs use a bounded client admission gate (256
+// outstanding, 512 queued) so the overloaded cells actually shed — the
+// incident the shed/burn-rate alert rules exist to catch; combine with
+// --slo-ms to arm the SLO rules.
 #include <chrono>
 #include <cstdio>
 
@@ -20,6 +25,7 @@
 #include "kv/experiment.h"
 #include "obs/energy.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/tracer.h"
 #include "obs_bench_util.h"
 #include "sim/replication.h"
@@ -45,6 +51,8 @@ struct CellResult {
   obs::TraceLog trace;
   obs::MetricsSeries metrics;
   obs::EnergyLedger ledger;
+  obs::TelemetrySeries telemetry;
+  obs::AlertLog alerts;
 };
 
 kv::KvExperimentConfig BaseConfig(bool edison) {
@@ -56,19 +64,31 @@ kv::KvExperimentConfig BaseConfig(bool edison) {
   return config;
 }
 
-CellResult RunCell(const Cell& cell, Rng& root, bool want_trace,
-                   bool want_metrics, bool want_summary) {
+CellResult RunCell(const Cell& cell, Rng& root, const BenchArgs& args) {
+  const bool want_trace = !args.trace_path.empty();
+  const bool want_metrics = !args.metrics_path.empty();
+  const bool want_summary = !args.trace_summary_path.empty();
   kv::KvExperimentConfig config = BaseConfig(cell.edison);
   if (cell.failover) config.replication = 2;
   config.seed = root.Next();
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
   obs::EnergyAttributor energy;
+  obs::Telemetry telemetry;
   // The summary CSV is derived from the trace, so recording is on
   // whenever either export is requested.
   if (want_trace || want_summary) config.tracer = &tracer;
   if (want_metrics) config.metrics = &metrics;
   if (want_summary) config.energy = &energy;
+  if (args.WantTelemetry()) {
+    // One Telemetry per replication (sim/replication.h merge contract);
+    // the SLO bound arms the burn-rate/p99/shed rules in the experiment
+    // wiring. Telemetry also needs a gate so sheds exist to alert on.
+    config.telemetry = &telemetry;
+    if (args.slo_ms > 0) config.openloop.slo = Milliseconds(args.slo_ms);
+    config.openloop.max_outstanding = 256;
+    config.openloop.queue_limit = 512;
+  }
   kv::KvExperiment exp(std::move(config));
   const kv::KvReport r =
       cell.failover
@@ -87,6 +107,10 @@ CellResult RunCell(const Cell& cell, Rng& root, bool want_trace,
   if (want_summary) {
     res.ledger = energy.TakeLedger();
     res.mj_per_query = bench::MeanRequestMillijoules(res.ledger);
+  }
+  if (args.WantTelemetry()) {
+    res.telemetry = telemetry.TakeSeries();
+    res.alerts = telemetry.TakeAlerts();
   }
   return res;
 }
@@ -114,12 +138,10 @@ int main(int argc, char** argv) {
   cells.push_back({2000.0, /*edison=*/true, /*failover=*/true});
 
   const sim::SweepPlan plan{args.replications, threads, args.seed};
-  const bool want_trace = !args.trace_path.empty();
-  const bool want_metrics = !args.metrics_path.empty();
   const bool want_summary = !args.trace_summary_path.empty();
   const auto t0 = std::chrono::steady_clock::now();
   auto sweep = sim::RunSweep(cells, plan, [&](const Cell& cell, Rng& root) {
-    return RunCell(cell, root, want_trace, want_metrics, want_summary);
+    return RunCell(cell, root, args);
   });
   const double sweep_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -175,6 +197,19 @@ int main(int argc, char** argv) {
       "several-fold higher — consistent with this paper's web results;\n"
       "and the ring absorbs node failures with no visible outage.\n");
   bench::ExportSweepObsEnergy(args, sweep);
+  if (args.WantTelemetry()) {
+    // Flattened in the same [config][replication] index order as the
+    // other exports, so --threads never changes a byte.
+    std::vector<obs::TelemetrySeries> telemetry;
+    std::vector<obs::AlertLog> alerts;
+    for (auto& per_config : sweep) {
+      for (auto& rep : per_config) {
+        telemetry.push_back(std::move(rep.telemetry));
+        alerts.push_back(std::move(rep.alerts));
+      }
+    }
+    bench::ExportTelemetryLogs(args, telemetry, alerts);
+  }
   std::printf(
       "\nSweep: %zu configs x %d replication(s) on %d thread(s) in %.2fs.\n",
       cells.size(), plan.replications, threads, sweep_seconds);

@@ -56,6 +56,36 @@ inline void ExportObsLogs(const BenchArgs& args,
   }
 }
 
+// Writes already-flattened telemetry rollup series / alert logs to the
+// --telemetry / --alerts paths (docs/telemetry.md). A bench that supports
+// the telemetry plane gives its per-replication result struct
+// `obs::TelemetrySeries telemetry` and `obs::AlertLog alerts` members
+// (from Telemetry::TakeSeries()/TakeAlerts()) and flattens them in the
+// same [config][replication] index order as the other exports, so both
+// CSVs are byte-identical at any --threads.
+inline void ExportTelemetryLogs(const BenchArgs& args,
+                                const std::vector<obs::TelemetrySeries>& series,
+                                const std::vector<obs::AlertLog>& alerts) {
+  if (!args.telemetry_path.empty()) {
+    const Status st = obs::WriteTelemetryCsv(series, args.telemetry_path);
+    if (st.ok()) {
+      std::printf("Telemetry written to %s\n", args.telemetry_path.c_str());
+    } else {
+      std::fprintf(stderr, "telemetry export failed: %s\n",
+                   st.message().c_str());
+    }
+  }
+  if (!args.alerts_path.empty()) {
+    const Status st = obs::WriteAlertsCsv(alerts, args.alerts_path);
+    if (st.ok()) {
+      std::printf("Alerts written to %s\n", args.alerts_path.c_str());
+    } else {
+      std::fprintf(stderr, "alerts export failed: %s\n",
+                   st.message().c_str());
+    }
+  }
+}
+
 // Mean attributed millijoules per request in a replication's ledger:
 // the sum of span-attributed joules divided by the number of distinct
 // traces (requests) that accrued any. The same per-trace roll-up the

@@ -15,6 +15,7 @@ void PrintUsage(const char* prog) {
                "usage: %s [--replications=N] [--threads=K] [--seed=S]\n"
                "          [--trace=FILE] [--metrics=FILE] "
                "[--trace-summary=FILE] [--slo-ms=T]\n"
+               "          [--telemetry=FILE] [--alerts=FILE]\n"
                "  --replications=N  seeds per configuration (default 1)\n"
                "  --threads=K       sweep worker threads; 0 = hardware "
                "concurrency (default 0)\n"
@@ -30,7 +31,14 @@ void PrintUsage(const char* prog) {
                "  --slo-ms=T        latency SLO in ms: adds the under_slo "
                "column and the\n"
                "                    slo_goodput_per_joule roll-up "
-               "(0 = off)\n",
+               "(0 = off)\n"
+               "  --telemetry=FILE  export telemetry rollup buckets as CSV "
+               "(enables the\n"
+               "                    online telemetry plane, "
+               "docs/telemetry.md)\n"
+               "  --alerts=FILE     export fired alert instants as CSV "
+               "(also enables\n"
+               "                    the telemetry plane)\n",
                prog);
 }
 
@@ -108,7 +116,9 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
     } else if (ParseString(argv[i], "--trace-summary",
                            &args.trace_summary_path) ||
                ParseString(argv[i], "--trace", &args.trace_path) ||
-               ParseString(argv[i], "--metrics", &args.metrics_path)) {
+               ParseString(argv[i], "--metrics", &args.metrics_path) ||
+               ParseString(argv[i], "--telemetry", &args.telemetry_path) ||
+               ParseString(argv[i], "--alerts", &args.alerts_path)) {
       // handled
     } else {
       std::fprintf(stderr, "error: unknown argument '%s'\n", argv[i]);

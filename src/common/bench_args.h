@@ -21,6 +21,12 @@
 //                      `under_slo` column to the --trace-summary CSV and
 //                      an slo_goodput_per_joule roll-up (under-SLO work
 //                      per window joule, docs/openloop.md); 0 = off
+//   --telemetry=FILE   export the online telemetry plane's rollup
+//                      buckets (per-window count/sum/min/max plus sparse
+//                      sketch buckets) as CSV; enables the per-run
+//                      obs::Telemetry plane (docs/telemetry.md)
+//   --alerts=FILE      export fired alert-rule instants as CSV; enables
+//                      the telemetry plane like --telemetry
 //
 // Results never depend on --threads (see docs/parallel.md); it only
 // changes wall-clock time. Trace and metrics exports are likewise
@@ -40,7 +46,15 @@ struct BenchArgs {
   std::string trace_path;          // empty = no trace export
   std::string metrics_path;        // empty = no metrics export
   std::string trace_summary_path;  // empty = no per-trace summary CSV
+  std::string telemetry_path;      // empty = no rollup-bucket CSV
+  std::string alerts_path;         // empty = no alert-instant CSV
   double slo_ms = 0;               // 0 = no SLO column/roll-up
+
+  // Either telemetry export flag turns the per-run obs::Telemetry plane
+  // on (benches that support it; see docs/telemetry.md).
+  bool WantTelemetry() const {
+    return !telemetry_path.empty() || !alerts_path.empty();
+  }
 };
 
 // Parses the shared flags above; prints usage and exits(2) on an unknown

@@ -2,6 +2,7 @@
 
 #include "obs/energy.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 
 namespace wimpy::hw {
 
@@ -32,6 +33,14 @@ void ServerNode::PublishMetrics(obs::MetricsRegistry* registry,
                      [this] { return power_.current_watts(); });
   registry->AddCounter(prefix + ".joules",
                        [this] { return power_.CumulativeJoules(); });
+}
+
+void ServerNode::PublishTelemetry(obs::Telemetry* telemetry,
+                                  const std::string& prefix) {
+  telemetry->AddProbe(prefix + ".cpu_busy",
+                      [this] { return cpu_.busy_fraction(); });
+  telemetry->AddProbe(prefix + ".power_w",
+                      [this] { return power_.current_watts(); });
 }
 
 void ServerNode::ObserveEnergy(obs::EnergyAttributor* attributor) {

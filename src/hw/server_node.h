@@ -21,6 +21,7 @@
 namespace wimpy::obs {
 class EnergyAttributor;
 class MetricsRegistry;
+class Telemetry;
 }  // namespace wimpy::obs
 
 namespace wimpy::hw {
@@ -52,6 +53,12 @@ class ServerNode {
   // the registry after the node is destroyed.
   void PublishMetrics(obs::MetricsRegistry* registry,
                       const std::string& prefix);
+
+  // Same probes into the online telemetry plane (obs/telemetry.h):
+  // per-tick gauges `<prefix>.cpu_busy|power_w` feed rollup windows,
+  // alert rules, and the NodeHealth power/utilisation terms. Same
+  // borrow contract as PublishMetrics.
+  void PublishTelemetry(obs::Telemetry* telemetry, const std::string& prefix);
 
   // Subscribes `attributor` to this node's power meter so span energy
   // attribution (obs/energy.h) sees every level change of P(t). Null is

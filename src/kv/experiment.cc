@@ -7,6 +7,7 @@
 #include "cluster/cluster.h"
 #include "hw/profiles.h"
 #include "obs/energy.h"
+#include "obs/telemetry.h"
 #include "shard/ring.h"
 #include "sim/process.h"
 
@@ -64,6 +65,31 @@ struct KvTestbed {
       }
       fabric.PublishMetrics(metrics, "net");
     }
+    telemetry = config.telemetry;
+    if (telemetry != nullptr) {
+      for (std::size_t i = 0; i < stores.size(); ++i) {
+        stores[i]->node().PublishTelemetry(telemetry,
+                                           "kv" + std::to_string(i));
+      }
+      obs::NodeHealthConfig health_config;
+      health_config.power_cap_w = config.node_profile.power.busy +
+                                  config.node_profile.power.constant_adapter;
+      health = std::make_unique<obs::NodeHealth>(telemetry, health_config);
+      for (std::size_t i = 0; i < stores.size(); ++i) {
+        const std::string node = "kv" + std::to_string(i);
+        obs::NodeHealthInputs inputs;
+        inputs.utilization = node + ".cpu_busy";
+        inputs.power = node + ".power_w";
+        inputs.queue_depth = "gate.queue_depth";
+        inputs.shed = "slo.shed";
+        health->AddNode(static_cast<int>(i), std::move(inputs));
+      }
+      // Health lands in the standard metrics CSV (new `health.node<i>`
+      // columns after the raw probes) and on the trace as kHealth
+      // instants, so both exports carry the composite next to its inputs.
+      if (metrics != nullptr) health->PublishMetrics(metrics, "health");
+      if (tracer != nullptr) health->EmitTraceInstants(tracer);
+    }
   }
 
   // 1-in-N query trace sampling, mirroring the web testbed: a sampled
@@ -94,6 +120,8 @@ struct KvTestbed {
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
   obs::EnergyAttributor* energy = nullptr;
+  obs::Telemetry* telemetry = nullptr;
+  std::unique_ptr<obs::NodeHealth> health;
   int trace_sample_every = 64;
   std::uint64_t query_counter_ = 0;
 };
@@ -230,6 +258,46 @@ sim::Process Arrivals(KvTestbed& tb, const KvExperimentConfig& config,
   }
 }
 
+// Per-measure telemetry wiring: the recorder's SLO stream, the gate's
+// queue-depth probe, and the default alert rules (SLO-gated, so a run
+// without an SLO bound installs none). Rule thresholds are pure
+// functions of the config — alert instants stay deterministic.
+void WireTelemetry(KvTestbed& tb, const KvExperimentConfig& config,
+                   load::OpenLoopRecorder& recorder, KvGate& gate) {
+  obs::Telemetry* telemetry = tb.telemetry;
+  if (telemetry == nullptr) return;
+  recorder.set_stream(obs::SloStreamInto(telemetry, "slo"));
+  telemetry->AddProbe("gate.queue_depth", [&gate] {
+    return static_cast<double>(gate.queue_depth());
+  });
+  if (config.openloop.slo > 0.0) {
+    obs::BurnRateRule burn;
+    burn.name = "slo_burn";
+    burn.good_metric = "slo.good";
+    burn.total_metric = "slo.offered";
+    burn.slo_target = 0.9;       // 10% error budget
+    burn.burn_threshold = 1.0;   // burning faster than budget
+    burn.short_window = Seconds(2);
+    burn.long_window = Seconds(8);
+    telemetry->AddBurnRateRule(burn);
+    obs::ThresholdRule p99;
+    p99.name = "latency_p99_high";
+    p99.metric = "slo.latency";
+    p99.agg = obs::Agg::kP99;
+    p99.threshold = config.openloop.slo;
+    p99.window = Seconds(2);
+    telemetry->AddThresholdRule(p99);
+    obs::ThresholdRule sheds;
+    sheds.name = "shed_spike";
+    sheds.metric = "slo.shed";
+    sheds.agg = obs::Agg::kRate;
+    sheds.threshold = 1.0;  // sheds/s
+    sheds.window = Seconds(2);
+    telemetry->AddThresholdRule(sheds);
+  }
+  telemetry->Start(&tb.sched, tb.tracer);
+}
+
 void FillOpenLoopFields(const load::OpenLoopRecorder& recorder, Joules spent,
                         KvReport* report) {
   report->p99_intended_latency =
@@ -264,6 +332,7 @@ KvReport KvExperiment::Measure(double target_qps, Duration measure) {
   tb.sched.ScheduleAt(window.end, [&] {
     spent = tb.clstr.CumulativeJoules({"kv-store"}) - epoch;
     if (tb.metrics != nullptr) tb.metrics->Stop();
+    if (tb.telemetry != nullptr) tb.telemetry->Stop();
     if (tb.tracer != nullptr) {
       tb.tracer->InstantAt(tb.sched.now(), "measure_end",
                            obs::Category::kApp, 0);
@@ -274,13 +343,18 @@ KvReport KvExperiment::Measure(double target_qps, Duration measure) {
   load::OpenLoopRecorder recorder(window.start, window.end,
                                   config_.openloop.slo);
   KvGate gate(config_.openloop);
+  WireTelemetry(tb, config_, recorder, gate);
   if (tb.metrics != nullptr) tb.metrics->Start(&tb.sched, Seconds(1));
   sim::Spawn(tb.sched, Arrivals(tb, config_, window, recorder, gate,
                                 target_qps, tb.rng.Fork()));
   tb.sched.Run();
   // Final sample after the queue drains: cumulative counters now match
-  // the report exactly.
-  if (tb.metrics != nullptr) tb.metrics->SampleNow();
+  // the report exactly. Then detach: the registry outlives this
+  // function-local testbed, so its probes must not.
+  if (tb.metrics != nullptr) {
+    tb.metrics->SampleNow();
+    tb.metrics->Detach();
+  }
 
   KvReport report;
   report.target_qps = target_qps;
@@ -334,6 +408,7 @@ KvReport KvExperiment::MeasureWithFailover(double target_qps,
   tb.sched.ScheduleAt(window.end, [&] {
     spent = tb.clstr.CumulativeJoules({"kv-store"}) - epoch;
     if (tb.metrics != nullptr) tb.metrics->Stop();
+    if (tb.telemetry != nullptr) tb.telemetry->Stop();
     if (tb.tracer != nullptr) {
       tb.tracer->InstantAt(tb.sched.now(), "measure_end",
                            obs::Category::kApp, 0);
@@ -344,11 +419,15 @@ KvReport KvExperiment::MeasureWithFailover(double target_qps,
   load::OpenLoopRecorder recorder(window.start, window.end,
                                   config_.openloop.slo);
   KvGate gate(config_.openloop);
+  WireTelemetry(tb, config_, recorder, gate);
   if (tb.metrics != nullptr) tb.metrics->Start(&tb.sched, Seconds(1));
   sim::Spawn(tb.sched, Arrivals(tb, config_, window, recorder, gate,
                                 target_qps, tb.rng.Fork()));
   tb.sched.Run();
-  if (tb.metrics != nullptr) tb.metrics->SampleNow();
+  if (tb.metrics != nullptr) {
+    tb.metrics->SampleNow();
+    tb.metrics->Detach();
+  }
 
   KvReport report;
   report.target_qps = target_qps;

@@ -16,6 +16,7 @@
 
 namespace wimpy::obs {
 class EnergyAttributor;
+class Telemetry;
 }  // namespace wimpy::obs
 
 namespace wimpy::kv {
@@ -39,6 +40,16 @@ struct KvExperimentConfig {
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
   int trace_sample_every = 64;
+  // Online telemetry plane (obs/telemetry.h; null = zero overhead). When
+  // set, a Measure call wires: per-store `kv<i>.cpu_busy|power_w` probes,
+  // the recorder's SLO stream into `slo.*` instruments, a
+  // `gate.queue_depth` probe, default alert rules (SLO burn rate over
+  // 2 s/8 s windows, shed-rate spike, p99-over-SLO — installed only when
+  // `openloop.slo > 0`), and an obs::NodeHealth scorer whose per-node
+  // gauges land in `metrics` under `health.*` and on the trace as
+  // kHealth instants. One Telemetry per Measure call (instrument names
+  // are registered fresh each run). Borrowed; must outlive the call.
+  obs::Telemetry* telemetry = nullptr;
   // Optional span-energy attribution over the store tier (obs/energy.h):
   // sampled query trees carry joules-per-span, and the ledger's window
   // subtotal equals the store-tier energy the report divides by for

@@ -23,7 +23,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
+#include <utility>
 
 #include "common/stats.h"
 #include "common/units.h"
@@ -117,10 +119,26 @@ class AdmissionGate {
   std::deque<Pending> queue_;
 };
 
+// Optional live taps off the recorder: every shed and every completion
+// (windowed or not) is streamed as it happens, so an online consumer
+// (obs::Telemetry via obs::SloStreamInto) sees the same event stream the
+// post-hoc report is computed from. Plain std::functions keep this
+// header free of any obs dependency.
+struct SloStreamHooks {
+  // honest_latency is finished - intended (coordinated-omission-free);
+  // under_slo implies ok and is false when SLO accounting is off.
+  std::function<void(SimTime intended, Duration honest_latency, bool ok,
+                     bool under_slo)>
+      on_complete;
+  std::function<void(SimTime intended)> on_shed;
+};
+
 class OpenLoopRecorder {
  public:
   OpenLoopRecorder(SimTime window_start, SimTime window_end, Duration slo)
       : window_start_(window_start), window_end_(window_end), slo_(slo) {}
+
+  void set_stream(SloStreamHooks stream) { stream_ = std::move(stream); }
 
   // Window membership is decided by the *intended* arrival time: overload
   // pushing a dispatch past the window edge must not un-count the request.
@@ -129,11 +147,17 @@ class OpenLoopRecorder {
   }
 
   void OnShed(SimTime intended) {
+    if (stream_.on_shed) stream_.on_shed(intended);
     if (InWindow(intended)) ++shed_;
   }
 
   void OnComplete(SimTime intended, SimTime dispatched, SimTime finished,
                   bool ok) {
+    const Duration honest = finished - intended;
+    const bool under_slo = ok && slo_ > 0.0 && honest <= slo_;
+    if (stream_.on_complete) {
+      stream_.on_complete(intended, honest, ok, under_slo);
+    }
     if (!InWindow(intended)) return;
     ++completed_;
     if (!ok) {
@@ -142,13 +166,12 @@ class OpenLoopRecorder {
     }
     ++ok_;
     const Duration service = finished - dispatched;
-    const Duration honest = finished - intended;
     service_latency_.Add(service);
     service_percentiles_.Add(service);
     intended_latency_.Add(honest);
     intended_percentiles_.Add(honest);
     queue_delay_.Add(dispatched - intended);
-    if (slo_ > 0.0 && honest <= slo_) ++slo_good_;
+    if (under_slo) ++slo_good_;
   }
 
   SimTime window_start() const { return window_start_; }
@@ -205,6 +228,7 @@ class OpenLoopRecorder {
   OnlineStats queue_delay_;
   PercentileTracker service_percentiles_;
   PercentileTracker intended_percentiles_;
+  SloStreamHooks stream_;
 };
 
 }  // namespace wimpy::load

@@ -169,4 +169,54 @@ Status WriteMetricsCsv(const std::vector<MetricsSeries>& series,
   return WriteString(RenderMetricsCsv(series), path);
 }
 
+std::string RenderTelemetryCsv(const std::vector<TelemetrySeries>& series) {
+  std::string out = "series,time_s,metric,value\n";
+  for (std::size_t idx = 0; idx < series.size(); ++idx) {
+    for (const TelemetryRow& row : series[idx].rows) {
+      out += std::to_string(idx);
+      out += ',';
+      out += Num(row.time);
+      out += ',';
+      out += row.metric;
+      out += ',';
+      out += Num(row.value);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+Status WriteTelemetryCsv(const std::vector<TelemetrySeries>& series,
+                         const std::string& path) {
+  return WriteString(RenderTelemetryCsv(series), path);
+}
+
+std::string RenderAlertsCsv(const std::vector<AlertLog>& logs) {
+  std::string out = "series,time_s,rule,metric,value,threshold,window_s\n";
+  for (std::size_t idx = 0; idx < logs.size(); ++idx) {
+    for (const Alert& alert : logs[idx].alerts) {
+      out += std::to_string(idx);
+      out += ',';
+      out += Num(alert.time);
+      out += ',';
+      out += alert.rule;
+      out += ',';
+      out += alert.metric;
+      out += ',';
+      out += Num(alert.value);
+      out += ',';
+      out += Num(alert.threshold);
+      out += ',';
+      out += Num(alert.window);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+Status WriteAlertsCsv(const std::vector<AlertLog>& logs,
+                      const std::string& path) {
+  return WriteString(RenderAlertsCsv(logs), path);
+}
+
 }  // namespace wimpy::obs

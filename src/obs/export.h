@@ -21,6 +21,7 @@
 
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/tracer.h"
 
 namespace wimpy::obs {
@@ -34,6 +35,22 @@ Status WriteChromeTrace(const std::vector<TraceLog>& logs,
 std::string RenderMetricsCsv(const std::vector<MetricsSeries>& series);
 Status WriteMetricsCsv(const std::vector<MetricsSeries>& series,
                        const std::string& path);
+
+// Telemetry rollup rows, long format with the *same* header as the
+// metrics CSV (`series,time_s,metric,value`), so every existing CSV
+// consumer (flamegraph.py --metrics, check_trace.sh validation) works
+// unchanged on rollup exports. Merged in index order.
+std::string RenderTelemetryCsv(const std::vector<TelemetrySeries>& series);
+Status WriteTelemetryCsv(const std::vector<TelemetrySeries>& series,
+                         const std::string& path);
+
+// Fired alerts, one row each: `series,time_s,rule,metric,value,
+// threshold,window_s`. Merged in index order; byte-identical at any
+// --threads for the same seed (the golden/determinism surface in
+// tools/check_trace.sh).
+std::string RenderAlertsCsv(const std::vector<AlertLog>& logs);
+Status WriteAlertsCsv(const std::vector<AlertLog>& logs,
+                      const std::string& path);
 
 }  // namespace wimpy::obs
 

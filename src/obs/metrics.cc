@@ -1,15 +1,31 @@
 #include "obs/metrics.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 namespace wimpy::obs {
+
+namespace {
+[[noreturn]] void DieDetached(const char* what) {
+  std::fprintf(stderr,
+               "MetricsRegistry::%s on a detached registry: probes were "
+               "severed because their components are gone\n",
+               what);
+  std::abort();
+}
+}  // namespace
 
 MetricsRegistry::~MetricsRegistry() { Stop(); }
 
 void MetricsRegistry::Add(std::string name, std::function<double()> probe) {
   assert(series_.times.empty() &&
          "register all probes before the first sample");
+  // Registering a live probe re-arms a detached registry: the guard
+  // exists to catch sampling through *severed* closures, not to make
+  // registries single-use.
+  detached_ = false;
   probes_.push_back(Probe{std::move(name), std::move(probe)});
   series_.names.push_back(probes_.back().name);
 }
@@ -25,6 +41,7 @@ void MetricsRegistry::AddCounter(std::string name,
 }
 
 void MetricsRegistry::Start(sim::Scheduler* sched, Duration period) {
+  if (detached_) DieDetached("Start");
   Stop();
   sched_ = sched;
   period_ = period > 0 ? period : 1.0;
@@ -40,7 +57,14 @@ void MetricsRegistry::Stop() {
   }
 }
 
+void MetricsRegistry::Detach() {
+  Stop();
+  for (Probe& probe : probes_) probe.fn = nullptr;
+  detached_ = true;
+}
+
 void MetricsRegistry::SampleNow() {
+  if (detached_) DieDetached("SampleNow");
   if (sched_ == nullptr) return;
   series_.times.push_back(sched_->now());
   auto& row = series_.rows.emplace_back();

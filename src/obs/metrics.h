@@ -10,8 +10,12 @@
 //
 // Lifetime contract: probes borrow the component they read. Register all
 // probes before Start(); never sample (Start/SampleNow) after any probed
-// component has been destroyed. The extracted `MetricsSeries` is plain
-// data and outlives everything.
+// component has been destroyed. Owners that outlive their probed
+// components (the experiment idiom: a caller-owned registry, probes into
+// a function-local testbed) call `Detach()` when the components go away;
+// a detached registry refuses to sample — a checked, fatal error instead
+// of a read through dangling probe closures. The extracted
+// `MetricsSeries` is plain data and outlives everything.
 //
 // Determinism: rows are a pure function of the simulation — sampled at
 // deterministic instants, in registration order — so a sweep's merged
@@ -66,6 +70,15 @@ class MetricsRegistry {
   // cumulative counters capture the full simulation).
   void SampleNow();
 
+  // Severs the probes: Stop(), drop every probe closure, and mark the
+  // registry detached. Call when the probed components are about to be
+  // destroyed (end of an experiment's Measure). After this, sampling
+  // (Start/SampleNow) aborts with a diagnostic instead of invoking
+  // dangling closures; TakeSeries/series() remain valid. Registering a
+  // fresh (live) probe re-arms the registry.
+  void Detach();
+  bool detached() const { return detached_; }
+
   bool running() const { return running_; }
   std::size_t probe_count() const { return probes_.size(); }
   const MetricsSeries& series() const { return series_; }
@@ -86,6 +99,7 @@ class MetricsRegistry {
   std::vector<Probe> probes_;
   sim::Scheduler* sched_ = nullptr;
   Duration period_ = 1.0;
+  bool detached_ = false;
   bool running_ = false;
   sim::EventId pending_ = 0;
   MetricsSeries series_;

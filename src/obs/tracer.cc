@@ -23,6 +23,10 @@ const char* CategoryName(Category category) {
       return "net";
     case Category::kApp:
       return "app";
+    case Category::kAlert:
+      return "alert";
+    case Category::kHealth:
+      return "health";
   }
   return "app";
 }

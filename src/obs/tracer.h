@@ -50,6 +50,8 @@ enum class Category : std::uint8_t {
   kTask,        // MapReduce map/reduce tasks
   kNet,         // TCP/fabric events (SYN drops, timeouts)
   kApp,         // anything else (tests, experiments)
+  kAlert,       // telemetry alert-rule firings (obs/telemetry.h)
+  kHealth,      // per-node health-score samples (obs::NodeHealth)
 };
 const char* CategoryName(Category category);
 

@@ -12,6 +12,7 @@
 #include "net/topology.h"
 #include "obs/energy.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/tracer.h"
 #include "shard/router.h"
 #include "sim/process.h"
@@ -94,6 +95,34 @@ struct ShardTestbed {
       }
       fabric.PublishMetrics(metrics, "net");
     }
+    telemetry = config.telemetry;
+    if (telemetry != nullptr) {
+      for (std::size_t i = 0; i < stores.size(); ++i) {
+        stores[i]->node().PublishTelemetry(telemetry,
+                                           "shard" + std::to_string(i));
+      }
+      obs::NodeHealthConfig health_config;
+      health_config.power_cap_w = config.node_profile.power.busy +
+                                  config.node_profile.power.constant_adapter;
+      // The lag input is a 0/1 in-migration flag: an active churn
+      // handoff costs the full lag weight.
+      health_config.lag_cap = 1.0;
+      health = std::make_unique<obs::NodeHealth>(telemetry, health_config);
+      for (std::size_t i = 0; i < stores.size(); ++i) {
+        const std::string node = "shard" + std::to_string(i);
+        obs::NodeHealthInputs inputs;
+        inputs.utilization = node + ".cpu_busy";
+        inputs.power = node + ".power_w";
+        inputs.queue_depth = "gate.queue_depth";
+        inputs.shed = "slo.shed";
+        // Churn hurts every member's score while handoffs are in
+        // flight: catch-up lag is a cluster-wide signal here.
+        inputs.lag = "migration.inflight";
+        health->AddNode(static_cast<int>(i), std::move(inputs));
+      }
+      if (metrics != nullptr) health->PublishMetrics(metrics, "health");
+      if (tracer != nullptr) health->EmitTraceInstants(tracer);
+    }
   }
 
   int StoreNodeId(int store_index) const {
@@ -129,6 +158,8 @@ struct ShardTestbed {
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
   obs::EnergyAttributor* energy = nullptr;
+  obs::Telemetry* telemetry = nullptr;
+  std::unique_ptr<obs::NodeHealth> health;
   int trace_sample_every = 64;
   std::uint64_t query_counter_ = 0;
 };
@@ -330,6 +361,7 @@ ShardReport ShardExperiment::Measure(double target_qps, Duration measure) {
   tb.sched.ScheduleAt(window.end, [&] {
     spent = tb.clstr.CumulativeJoules({"shard-store"}) - epoch;
     if (tb.metrics != nullptr) tb.metrics->Stop();
+    if (tb.telemetry != nullptr) tb.telemetry->Stop();
     if (tb.tracer != nullptr) {
       tb.tracer->InstantAt(tb.sched.now(), "measure_end",
                            obs::Category::kApp, 0);
@@ -340,11 +372,68 @@ ShardReport ShardExperiment::Measure(double target_qps, Duration measure) {
   load::OpenLoopRecorder recorder(window.start, window.end,
                                   config_.openloop.slo);
   ShardGate gate(config_.openloop);
+  if (tb.telemetry != nullptr) {
+    obs::Telemetry* telemetry = tb.telemetry;
+    recorder.set_stream(obs::SloStreamInto(telemetry, "slo"));
+    telemetry->AddProbe("gate.queue_depth", [&gate] {
+      return static_cast<double>(gate.queue_depth());
+    });
+    // Live migration-lag probes over the stats the migrator fills
+    // in-place during churn; `inflight` (1 while a started migration has
+    // not committed its last cutover) is the NodeHealth lag term.
+    telemetry->AddProbe("migration.inflight", [&migration] {
+      return migration.started > 0.0 && !migration.done ? 1.0 : 0.0;
+    });
+    telemetry->AddProbe("migration.shards_moved", [&migration] {
+      return static_cast<double>(migration.shards_moved);
+    });
+    telemetry->AddProbe("migration.catchup_bytes", [&migration] {
+      return static_cast<double>(migration.catchup_bytes);
+    });
+    telemetry->AddProbe("net.max_uplink_busy", [&tb] {
+      double busy = 0.0;
+      for (int r = 0; r < tb.topo.racks(); ++r) {
+        busy = std::max(busy, tb.fabric.GroupLinkAverageBusyFraction(
+                                  tb.topo.RackGroup(r),
+                                  tb.topo.AggGroup(tb.topo.PodOfRack(r))));
+      }
+      return busy;
+    });
+    obs::ThresholdRule uplink;
+    uplink.name = "uplink_saturated";
+    uplink.metric = "net.max_uplink_busy";
+    uplink.agg = obs::Agg::kMax;
+    uplink.threshold = 0.90;
+    uplink.window = Seconds(4);
+    telemetry->AddThresholdRule(uplink);
+    if (config_.openloop.slo > 0.0) {
+      obs::BurnRateRule burn;
+      burn.name = "slo_burn";
+      burn.good_metric = "slo.good";
+      burn.total_metric = "slo.offered";
+      burn.slo_target = 0.9;
+      burn.burn_threshold = 1.0;
+      burn.short_window = Seconds(2);
+      burn.long_window = Seconds(8);
+      telemetry->AddBurnRateRule(burn);
+      obs::ThresholdRule sheds;
+      sheds.name = "shed_spike";
+      sheds.metric = "slo.shed";
+      sheds.agg = obs::Agg::kRate;
+      sheds.threshold = 1.0;
+      sheds.window = Seconds(2);
+      telemetry->AddThresholdRule(sheds);
+    }
+    telemetry->Start(&tb.sched, tb.tracer);
+  }
   if (tb.metrics != nullptr) tb.metrics->Start(&tb.sched, Seconds(1));
   sim::Spawn(tb.sched, Arrivals(tb, config_, window, recorder, gate,
                                 target_qps, tb.rng.Fork()));
   tb.sched.Run();
-  if (tb.metrics != nullptr) tb.metrics->SampleNow();
+  if (tb.metrics != nullptr) {
+    tb.metrics->SampleNow();
+    tb.metrics->Detach();
+  }
 
   ShardReport report;
   report.target_qps = target_qps;

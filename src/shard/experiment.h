@@ -25,6 +25,7 @@
 namespace wimpy::obs {
 class EnergyAttributor;
 class MetricsRegistry;
+class Telemetry;
 class Tracer;
 }  // namespace wimpy::obs
 
@@ -60,6 +61,14 @@ struct ShardExperimentConfig {
   obs::MetricsRegistry* metrics = nullptr;
   obs::EnergyAttributor* energy = nullptr;
   int trace_sample_every = 64;
+  // Online telemetry plane (obs/telemetry.h; null = zero overhead).
+  // Beyond the kv wiring (SLO stream, queue probe, burn-rate/shed/p99
+  // rules, NodeHealth), a Measure adds migration-lag probes
+  // (`migration.inflight|shards_moved|catchup_bytes` over the live
+  // MigrationStats — the NodeHealth lag term) and a
+  // `net.max_uplink_busy` probe with a hottest-uplink saturation rule.
+  // One Telemetry per Measure call; borrowed, must outlive it.
+  obs::Telemetry* telemetry = nullptr;
   // Open-loop load shape (docs/openloop.md): arrival model/burstiness,
   // client-side admission gate, SLO bound. `openloop.arrival.rate` is
   // overridden by Measure's target_qps. The default (Poisson, unbounded,

@@ -10,6 +10,7 @@
 #include "hw/profiles.h"
 #include "obs/energy.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/tracer.h"
 #include "sim/process.h"
 
@@ -124,6 +125,28 @@ struct Testbed {
     energy = config.energy;
     trace_sample_every = std::max(1, config.trace_sample_every);
     if (metrics != nullptr) PublishProbes();
+    telemetry = config.telemetry;
+    if (telemetry != nullptr) {
+      for (std::size_t i = 0; i < webs.size(); ++i) {
+        webs[i]->node().PublishTelemetry(telemetry,
+                                         "web" + std::to_string(i));
+      }
+      obs::NodeHealthConfig health_config;
+      health_config.power_cap_w = config.middle_profile.power.busy +
+                                  config.middle_profile.power.constant_adapter;
+      health = std::make_unique<obs::NodeHealth>(telemetry, health_config);
+      for (std::size_t i = 0; i < webs.size(); ++i) {
+        const std::string prefix = "web" + std::to_string(i);
+        obs::NodeHealthInputs inputs;
+        inputs.utilization = prefix + ".cpu_busy";
+        inputs.power = prefix + ".power_w";
+        inputs.queue_depth = "gate.queue_depth";
+        inputs.shed = "slo.shed";
+        health->AddNode(static_cast<int>(i), inputs);
+      }
+      if (metrics != nullptr) health->PublishMetrics(metrics, "health");
+      if (tracer != nullptr) health->EmitTraceInstants(tracer);
+    }
     if (energy != nullptr) {
       // Observation order (web, cache, db) fixes ledger row order for a
       // given simulation, keeping exports deterministic.
@@ -251,6 +274,8 @@ struct Testbed {
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
   obs::EnergyAttributor* energy = nullptr;
+  obs::Telemetry* telemetry = nullptr;
+  std::unique_ptr<obs::NodeHealth> health;
   int trace_sample_every = 64;
   std::uint64_t conn_counter_ = 0;
   std::size_t next_web_ = 0;
@@ -542,8 +567,13 @@ LevelReport WebExperiment::MeasureClosedLoop(const WorkloadMix& mix,
                                 calls_per_connection, tb.rng.Fork()));
   tb.sched.Run();
   // Final sample after the queue drains: cumulative counters and the
-  // merged delay stats now match the report exactly.
-  if (tb.metrics != nullptr) tb.metrics->SampleNow();
+  // merged delay stats now match the report exactly. Then detach: the
+  // registry outlives this function-local testbed, so its probes must
+  // not.
+  if (tb.metrics != nullptr) {
+    tb.metrics->SampleNow();
+    tb.metrics->Detach();
+  }
 
   LevelReport report;
   report.target_concurrency = concurrency;
@@ -626,7 +656,10 @@ WebExperiment::FailureReport WebExperiment::MeasureWithFailure(
              ClosedLoopArrivals(tb, {&before, &after}, mix, concurrency,
                                 calls_per_connection, tb.rng.Fork()));
   tb.sched.Run();
-  if (tb.metrics != nullptr) tb.metrics->SampleNow();
+  if (tb.metrics != nullptr) {
+    tb.metrics->SampleNow();
+    tb.metrics->Detach();
+  }
 
   auto fill = [&](const RunWindow& window) {
     LevelReport report;
@@ -708,6 +741,7 @@ OpenLoopReport WebExperiment::MeasureOpenLoop(
         tb.clstr.CumulativeJoules({"web-server", "cache-server"}) -
         epoch_joules;
     if (tb.metrics != nullptr) tb.metrics->Stop();
+    if (tb.telemetry != nullptr) tb.telemetry->Stop();
     if (tb.tracer != nullptr) {
       tb.tracer->InstantAt(tb.sched.now(), "measure_end",
                            obs::Category::kApp, 0);
@@ -718,13 +752,53 @@ OpenLoopReport WebExperiment::MeasureOpenLoop(
   load::OpenLoopRecorder recorder(window.warmup_end, window.measure_end,
                                   load_config.slo);
   WebGate gate(load_config);
+  // Per-measure telemetry wiring mirrors kv::WireTelemetry: recorder SLO
+  // stream, gate queue-depth probe, SLO-gated default rules. Thresholds
+  // are pure functions of the config, so alert instants stay
+  // deterministic.
+  if (tb.telemetry != nullptr) {
+    obs::Telemetry* telemetry = tb.telemetry;
+    recorder.set_stream(obs::SloStreamInto(telemetry, "slo"));
+    telemetry->AddProbe("gate.queue_depth", [&gate] {
+      return static_cast<double>(gate.queue_depth());
+    });
+    if (load_config.slo > 0.0) {
+      obs::BurnRateRule burn;
+      burn.name = "slo_burn";
+      burn.good_metric = "slo.good";
+      burn.total_metric = "slo.offered";
+      burn.slo_target = 0.9;      // 10% error budget
+      burn.burn_threshold = 1.0;  // burning faster than budget
+      burn.short_window = Seconds(2);
+      burn.long_window = Seconds(8);
+      telemetry->AddBurnRateRule(burn);
+      obs::ThresholdRule p99;
+      p99.name = "latency_p99_high";
+      p99.metric = "slo.latency";
+      p99.agg = obs::Agg::kP99;
+      p99.threshold = load_config.slo;
+      p99.window = Seconds(2);
+      telemetry->AddThresholdRule(p99);
+      obs::ThresholdRule sheds;
+      sheds.name = "shed_spike";
+      sheds.metric = "slo.shed";
+      sheds.agg = obs::Agg::kRate;
+      sheds.threshold = 1.0;  // sheds/s
+      sheds.window = Seconds(2);
+      telemetry->AddThresholdRule(sheds);
+    }
+    telemetry->Start(&tb.sched, tb.tracer);
+  }
   if (tb.metrics != nullptr) tb.metrics->Start(&tb.sched, Seconds(1));
   sim::Spawn(tb.sched,
              OpenLoopArrivals(tb, window, mix, load_config.arrival,
                               &report.delay_histogram, recorder, gate,
                               tb.rng.Fork()));
   tb.sched.Run();
-  if (tb.metrics != nullptr) tb.metrics->SampleNow();
+  if (tb.metrics != nullptr) {
+    tb.metrics->SampleNow();
+    tb.metrics->Detach();
+  }
 
   report.achieved_rps = static_cast<double>(window.ok) / measure;
   report.error_rate =

@@ -31,6 +31,7 @@
 namespace wimpy::obs {
 class EnergyAttributor;
 class MetricsRegistry;
+class Telemetry;
 class Tracer;
 }  // namespace wimpy::obs
 
@@ -61,6 +62,14 @@ struct WebTestbedConfig {
   // joules-per-span and the ledger's window subtotal mirrors the
   // report's energy accounting. Borrowed; may be null.
   obs::EnergyAttributor* energy = nullptr;
+  // Online telemetry plane (obs/telemetry.h; null = zero overhead). A
+  // MeasureOpenLoop run wires per-web-node `web<i>.cpu_busy|power_w`
+  // probes, the recorder's SLO stream into `slo.*`, a `gate.queue_depth`
+  // probe, default SLO alert rules (installed when the load config sets
+  // an SLO bound), and an obs::NodeHealth scorer over the web tier
+  // (`health.*` metrics columns + kHealth trace instants). One Telemetry
+  // per measure call; borrowed, must outlive it.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 // Calibrated per-platform web-server configs (see web_server.h for the

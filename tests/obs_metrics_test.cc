@@ -72,6 +72,35 @@ TEST(MetricsRegistryTest, TakeSeriesKeepsProbesRegistered) {
   EXPECT_EQ(second.rows[0][0], 1.0);
 }
 
+// The Detach() lifetime guard (docs/telemetry.md): experiments sever
+// probe closures when the probed components die with the testbed scope.
+// Sampling through severed closures must be a loud checked error, not a
+// use-after-free.
+TEST(MetricsRegistryDeathTest, SamplingAfterDetachAborts) {
+  sim::Scheduler sched;
+  MetricsRegistry registry;
+  {
+    double level = 7;
+    registry.AddGauge("level", [&level] { return level; });
+    registry.Start(&sched, Seconds(1));
+    registry.Stop();
+    registry.SampleNow();  // fine: `level` is still alive here
+    registry.Detach();     // `level` dies with this scope
+  }
+  EXPECT_DEATH(registry.SampleNow(), "detached registry");
+  EXPECT_DEATH(registry.Start(&sched, Seconds(1)), "detached registry");
+}
+
+TEST(MetricsRegistryTest, DetachStopsTheSamplingClock) {
+  sim::Scheduler sched;
+  MetricsRegistry registry;
+  registry.AddGauge("g", [] { return 1.0; });
+  registry.Start(&sched, Seconds(1));
+  registry.Detach();
+  EXPECT_FALSE(registry.running());
+  EXPECT_EQ(sched.pending_events(), 0u);  // pending tick was cancelled
+}
+
 TEST(MetricsExportTest, CsvLongFormatGolden) {
   MetricsSeries s;
   s.names = {"a", "b"};

@@ -28,7 +28,15 @@
 # trace_analyze.py golden (tests/data/trace_analyze_shard_seed77.txt);
 # --determinism output must be byte-identical at --threads=1 vs 8.
 #
-# A sixth section validates the open-loop SLO surface (docs/openloop.md):
+# A sixth section validates the telemetry plane (docs/telemetry.md):
+# the kv bench with --telemetry/--alerts at --seed=77 must emit alert and
+# node-health instants on the trace, health.* metric columns, schema-valid
+# rollup + alert CSVs with the alerts matching a checked-in golden, and
+# both CSVs byte-identical at --threads=1 vs 8 (run unconditionally); the
+# telemetry-enabled trace is smoke-tested through flamegraph.py and
+# trace_analyze.py, which must ignore the new instant categories.
+#
+# A seventh section validates the open-loop SLO surface (docs/openloop.md):
 # the --slo-ms trace-summary schema (base header unchanged, under_slo
 # column appended with 0/1 values, slo_goodput_per_joule roll-up printed)
 # and bench_slo_openloop --determinism byte-identical at --threads=1 vs 8.
@@ -321,6 +329,82 @@ if [[ "${CHECK_DETERMINISM:-0}" != "0" ]]; then
     || { echo "error: shard summary differs across --threads" >&2; exit 1; }
   echo "determinism OK: shard trace + summary byte-identical at --threads=1 and 8"
 fi
+
+# --- telemetry plane: rollups, alerts, node health (docs/telemetry.md) --
+# bench_kv_queries_per_joule with --telemetry/--alerts at the pinned seed:
+# the trace must carry alert + health instants, the metrics CSV the
+# health.* columns, the telemetry CSV the 4-field rollup schema, and the
+# alerts CSV the 7-field schema whose seed-77 content matches the
+# checked-in golden. Both new exports must be byte-identical across
+# worker-thread counts (this runs unconditionally — the alert instants
+# are the whole point of the determinism contract). The telemetry-enabled
+# trace is also pushed through flamegraph.py and trace_analyze.py as the
+# pipeline smoke test that the new instant categories are ignored.
+tel_csv="${WORK}/kv77.telemetry.csv"
+alerts_csv="${WORK}/kv77.alerts.csv"
+tel_trace="${WORK}/kv77_tel.trace.json"
+tel_metrics="${WORK}/kv77_tel.metrics.csv"
+echo "== telemetry plane (--seed=77, --slo-ms=8) =="
+"${kv_bin}" --replications=1 --threads=1 --seed=77 --slo-ms=8 \
+  --trace="${tel_trace}" --metrics="${tel_metrics}" \
+  --telemetry="${tel_csv}" --alerts="${alerts_csv}" \
+  > "${WORK}/kv77_tel.stdout.txt"
+validate_trace "${tel_trace}"
+validate_metrics "${tel_metrics}"
+for cat in alert health; do
+  grep -q "\"cat\":\"${cat}\"" "${tel_trace}" \
+    || { echo "error: telemetry trace has no ${cat} instants" >&2; exit 1; }
+done
+grep -q ',health\.' "${tel_metrics}" \
+  || { echo "error: metrics CSV has no health.* columns" >&2; exit 1; }
+echo "instants OK: $(grep -c '"cat":"alert"' "${tel_trace}") alert," \
+     "$(grep -c '"cat":"health"' "${tel_trace}") health;" \
+     "$(grep -c ',health\.' "${tel_metrics}") health metric rows"
+
+head -n 1 "${tel_csv}" | grep -qx 'series,time_s,metric,value' \
+  || { echo "error: bad telemetry CSV header" >&2; exit 1; }
+bad="$(tail -n +2 "${tel_csv}" | awk -F, 'NF != 4' | head -n 3)"
+if [[ -n "${bad}" ]]; then
+  echo "error: malformed telemetry CSV rows:" >&2
+  echo "${bad}" >&2
+  exit 1
+fi
+echo "telemetry CSV OK: $(($(wc -l < "${tel_csv}") - 1)) rollup rows"
+
+head -n 1 "${alerts_csv}" \
+  | grep -qx 'series,time_s,rule,metric,value,threshold,window_s' \
+  || { echo "error: bad alerts CSV header" >&2; exit 1; }
+bad="$(tail -n +2 "${alerts_csv}" | awk -F, 'NF != 7' | head -n 3)"
+if [[ -n "${bad}" ]]; then
+  echo "error: malformed alerts CSV rows:" >&2
+  echo "${bad}" >&2
+  exit 1
+fi
+diff -u tests/data/alerts_kv_seed77.csv "${alerts_csv}" \
+  || { echo "error: alerts CSV drifted from golden" >&2; exit 1; }
+echo "alerts OK: matches tests/data/alerts_kv_seed77.csv" \
+     "($(($(wc -l < "${alerts_csv}") - 1)) firings)"
+
+# Pipeline smoke: the alert/health instants must not break or leak into
+# the span-based analyzers.
+python3 tools/flamegraph.py "${tel_trace}" -o "${WORK}/kv77_tel.folded"
+[[ -s "${WORK}/kv77_tel.folded" ]] \
+  || { echo "error: flamegraph.py choked on telemetry trace" >&2; exit 1; }
+python3 tools/trace_analyze.py "${tel_trace}" \
+  -o "${WORK}/kv77_tel.analysis.txt"
+[[ -s "${WORK}/kv77_tel.analysis.txt" ]] \
+  || { echo "error: trace_analyze.py choked on telemetry trace" >&2; exit 1; }
+echo "pipeline OK: flamegraph + trace_analyze ignore alert/health instants"
+
+echo "re-running telemetry exports at --threads=8 (same seed)..."
+"${kv_bin}" --replications=1 --threads=8 --seed=77 --slo-ms=8 \
+  --telemetry="${WORK}/kv77.telemetry_t8.csv" \
+  --alerts="${WORK}/kv77.alerts_t8.csv" > /dev/null
+cmp "${tel_csv}" "${WORK}/kv77.telemetry_t8.csv" \
+  || { echo "error: telemetry CSV differs across --threads" >&2; exit 1; }
+cmp "${alerts_csv}" "${WORK}/kv77.alerts_t8.csv" \
+  || { echo "error: alerts CSV differs across --threads" >&2; exit 1; }
+echo "determinism OK: telemetry + alerts byte-identical at --threads=1 and 8"
 
 # --- open-loop SLO surface: --slo-ms schema + sweep determinism ---------
 # The --slo-ms flag must append exactly one under_slo column (0/1) to the

@@ -45,6 +45,12 @@ def fold_trace(doc):
         phase = event.get("ph")
         if phase not in ("B", "E"):
             continue
+        # Telemetry-plane instants (alert firings, node-health samples)
+        # are point events, not spans; they carry no durations to fold.
+        # They are ph "i" so the phase filter already drops them, but be
+        # explicit in case a future exporter gives them durations.
+        if event.get("cat") in ("alert", "health"):
+            continue
         key = (event.get("pid", 0), event.get("tid", 0))
         ts = float(event.get("ts", 0.0))
         if phase == "B":

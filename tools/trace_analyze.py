@@ -65,6 +65,11 @@ def build_trees(events):
     for e in events:
         if e.get("ph") not in ("B", "E"):
             continue
+        # Telemetry-plane instants (cat "alert"/"health") are point
+        # events outside any causal span tree; skip them explicitly so
+        # a future durationed form can never masquerade as a span.
+        if e.get("cat") in ("alert", "health"):
+            continue
         args = e.get("args", {})
         trace_id = args.get("trace", 0)
         span_id = args.get("span", 0)
